@@ -1,0 +1,110 @@
+// P1 — google-benchmark suite for the simulation engine itself: raw walk
+// stepping throughput per family, k-walk round cost, cover-time sampling,
+// and Monte-Carlo thread scaling. These numbers justify the experiment
+// harness's feasible scales (steps/second on a laptop).
+#include <benchmark/benchmark.h>
+
+#include "core/families.hpp"
+#include "graph/generators.hpp"
+#include "mc/estimators.hpp"
+#include "walk/cover.hpp"
+#include "walk/walker.hpp"
+
+namespace {
+
+using namespace manywalks;
+
+void BM_StepThroughput(benchmark::State& state, const Graph& g) {
+  Rng rng(1);
+  Vertex v = 0;
+  for (auto _ : state) {
+    v = step_walk(g, v, rng);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+const Graph& cycle_graph() {
+  static const Graph g = make_cycle(1 << 16);
+  return g;
+}
+const Graph& grid_graph() {
+  static const Graph g = make_grid_2d(255);
+  return g;
+}
+const Graph& hypercube_graph() {
+  static const Graph g = make_hypercube(16);
+  return g;
+}
+const Graph& margulis_graph() {
+  static const Graph g = make_margulis_expander(255);
+  return g;
+}
+const Graph& complete_graph() {
+  static const Graph g = make_complete(2048);
+  return g;
+}
+
+void BM_StepCycle(benchmark::State& state) { BM_StepThroughput(state, cycle_graph()); }
+void BM_StepGrid2d(benchmark::State& state) { BM_StepThroughput(state, grid_graph()); }
+void BM_StepHypercube(benchmark::State& state) { BM_StepThroughput(state, hypercube_graph()); }
+void BM_StepMargulis(benchmark::State& state) { BM_StepThroughput(state, margulis_graph()); }
+void BM_StepComplete(benchmark::State& state) { BM_StepThroughput(state, complete_graph()); }
+
+BENCHMARK(BM_StepCycle);
+BENCHMARK(BM_StepGrid2d);
+BENCHMARK(BM_StepHypercube);
+BENCHMARK(BM_StepMargulis);
+BENCHMARK(BM_StepComplete);
+
+/// Cost of one k-walk round (k token steps + visit tracking) vs k.
+void BM_KWalkRound(benchmark::State& state) {
+  const Graph& g = grid_graph();
+  const auto k = static_cast<unsigned>(state.range(0));
+  Rng rng(2);
+  CoverOptions options;
+  options.step_cap = 64;  // fixed number of rounds per sample
+  for (auto _ : state) {
+    const auto sample = sample_k_cover_time(g, 0, k, rng, options);
+    benchmark::DoNotOptimize(sample.steps);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 * k);
+}
+BENCHMARK(BM_KWalkRound)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// Full cover-time samples on mid-size instances.
+void BM_CoverSampleGrid(benchmark::State& state) {
+  const Graph g = make_grid_2d(63);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_cover_time(g, 0, rng).steps);
+  }
+}
+BENCHMARK(BM_CoverSampleGrid);
+
+void BM_CoverSampleCycle(benchmark::State& state) {
+  const Graph g = make_cycle(1024);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_cover_time(g, 0, rng).steps);
+  }
+}
+BENCHMARK(BM_CoverSampleCycle);
+
+/// Monte-Carlo harness thread scaling: same trial budget, varying workers.
+void BM_McThreadScaling(benchmark::State& state) {
+  const Graph g = make_grid_2d(31);
+  const auto threads = static_cast<unsigned>(state.range(0));
+  McOptions mc;
+  mc.min_trials = 64;
+  mc.max_trials = 64;
+  mc.threads = threads;
+  for (auto _ : state) {
+    const auto result = estimate_cover_time(g, 0, mc);
+    benchmark::DoNotOptimize(result.ci.mean);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_McThreadScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace

@@ -1,0 +1,123 @@
+// P2 — google-benchmark suite for the substrates: generator throughput,
+// BFS/property scans, spectral iteration, exact hitting-time solves, and
+// mixing-time evolution. Establishes where the exact/spectral tools stop
+// being interactive.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "linalg/markov.hpp"
+#include "linalg/spectral.hpp"
+#include "theory/exact.hpp"
+
+namespace {
+
+using namespace manywalks;
+
+void BM_GenCycle(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_cycle(n).num_arcs());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_GenCycle)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_GenGrid2d(benchmark::State& state) {
+  const auto side = static_cast<Vertex>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_grid_2d(side).num_arcs());
+  }
+}
+BENCHMARK(BM_GenGrid2d)->Arg(64)->Arg(256);
+
+void BM_GenMargulis(benchmark::State& state) {
+  const auto side = static_cast<Vertex>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_margulis_expander(side).num_arcs());
+  }
+}
+BENCHMARK(BM_GenMargulis)->Arg(32)->Arg(128);
+
+void BM_GenErdosRenyi(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  const double p = 8.0 / n;
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_erdos_renyi(n, p, rng).num_arcs());
+  }
+}
+BENCHMARK(BM_GenErdosRenyi)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_GenRandomRegular(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_random_regular(n, 8, rng).num_arcs());
+  }
+}
+BENCHMARK(BM_GenRandomRegular)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_GenRandomGeometric(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  Rng rng(3);
+  const double r = random_geometric_connectivity_radius(n, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_random_geometric(n, r, rng).num_arcs());
+  }
+}
+BENCHMARK(BM_GenRandomGeometric)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_Bfs(benchmark::State& state) {
+  const Graph g = make_grid_2d(static_cast<Vertex>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_distances(g, 0).size());
+  }
+}
+BENCHMARK(BM_Bfs)->Arg(64)->Arg(256);
+
+void BM_SecondEigenvalue(benchmark::State& state) {
+  const Graph g = make_margulis_expander(static_cast<Vertex>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(second_eigenvalue(g).lambda_norm);
+  }
+}
+BENCHMARK(BM_SecondEigenvalue)->Arg(16)->Arg(48);
+
+void BM_MixingTimeExpander(benchmark::State& state) {
+  const Graph g = make_margulis_expander(static_cast<Vertex>(state.range(0)));
+  MixingOptions options;
+  options.sources = {0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mixing_time(g, options).time);
+  }
+}
+BENCHMARK(BM_MixingTimeExpander)->Arg(16)->Arg(48);
+
+void BM_HittingTimesToTarget(benchmark::State& state) {
+  const Graph g = make_grid_2d(static_cast<Vertex>(state.range(0)),
+                               GridTopology::kTorus);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hitting_times_to(g, 0).size());
+  }
+}
+BENCHMARK(BM_HittingTimesToTarget)->Arg(9)->Arg(15);
+
+void BM_HittingTimeMatrix(benchmark::State& state) {
+  const Graph g = make_grid_2d(static_cast<Vertex>(state.range(0)),
+                               GridTopology::kTorus);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hitting_time_matrix(g).rows());
+  }
+}
+BENCHMARK(BM_HittingTimeMatrix)->Arg(9)->Arg(15);
+
+void BM_ExactCoverSubsetDp(benchmark::State& state) {
+  const Graph g = make_cycle(static_cast<Vertex>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_cover_time(g, 0));
+  }
+}
+BENCHMARK(BM_ExactCoverSubsetDp)->Arg(10)->Arg(14);
+
+}  // namespace

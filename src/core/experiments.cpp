@@ -1,0 +1,197 @@
+#include "core/experiments.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace manywalks {
+
+Table1Row run_table1_row(const FamilyInstance& instance,
+                         std::span<const unsigned> ks,
+                         const ExperimentOptions& options, ThreadPool* pool) {
+  Table1Row row;
+  row.name = instance.name;
+  row.n = instance.graph.num_vertices();
+  row.m = instance.graph.num_edges();
+  row.theory = instance.theory;
+
+  ProfileOptions profile_options;
+  profile_options.mc = options.mc;
+  profile_options.mc.seed = mix64(options.seed ^ 0x7ab1e1ULL);
+  profile_options.cover = options.cover;
+  profile_options.hmax_exact_limit = options.hmax_exact_limit;
+  profile_options.mixing_cap = options.mixing_cap;
+  row.profile = profile_graph(instance, profile_options, pool);
+
+  McOptions mc = options.mc;
+  mc.seed = mix64(options.seed ^ 0x5eedcafeULL);
+  row.speedups = estimate_speedup_curve(instance.graph, instance.start, ks, mc,
+                                        options.cover, pool);
+  return row;
+}
+
+TextTable render_table1(std::span<const Table1Row> rows,
+                        std::span<const unsigned> ks) {
+  TextTable table("Table 1 — measured cover/hitting/mixing times and speed-ups "
+                  "(paper orders in parentheses)");
+  table.add_column("graph family", TextTable::Align::kLeft)
+      .add_column("n")
+      .add_column("cover C")
+      .add_column("C theory")
+      .add_column("h_max")
+      .add_column("h theory")
+      .add_column("t_mix")
+      .add_column("gap C/h");
+  for (unsigned k : ks) {
+    std::ostringstream os;
+    os << "S^" << k;
+    table.add_column(os.str());
+  }
+  table.add_column("speed-up (paper)", TextTable::Align::kLeft);
+
+  for (const Table1Row& row : rows) {
+    table.begin_row();
+    table.cell(row.name);
+    table.cell(static_cast<std::uint64_t>(row.n));
+    table.cell(format_mean_pm(row.profile.cover.ci.mean,
+                              row.profile.cover.ci.half_width));
+    {
+      std::ostringstream os;
+      os << format_double(row.theory.cover) << " (" << row.theory.cover_formula
+         << ")";
+      table.cell(os.str());
+    }
+    table.cell(row.profile.h_max.exact
+                   ? format_double(row.profile.h_max.value)
+                   : format_mean_pm(row.profile.h_max.value,
+                                    row.profile.h_max.half_width) + "*");
+    {
+      std::ostringstream os;
+      os << format_double(row.theory.h_max) << " ("
+         << row.theory.hitting_formula << ")";
+      table.cell(os.str());
+    }
+    {
+      std::ostringstream os;
+      if (!row.profile.mixing.converged) {
+        os << "> " << format_count(row.profile.mixing.time);
+      } else {
+        os << format_count(row.profile.mixing.time);
+      }
+      if (row.profile.mixing.laziness > 0.0) os << " (lazy)";
+      table.cell(os.str());
+    }
+    table.cell(format_double(row.profile.gap));
+    for (const SpeedupEstimate& s : row.speedups) {
+      table.cell(format_mean_pm(s.speedup, s.half_width, 3));
+    }
+    table.cell(row.theory.speedup_regime);
+  }
+  return table;
+}
+
+SpeedupCurveResult run_speedup_curve(const FamilyInstance& instance,
+                                     std::span<const unsigned> ks,
+                                     const ExperimentOptions& options,
+                                     ThreadPool* pool) {
+  SpeedupCurveResult result;
+  result.name = instance.name;
+  result.n = instance.graph.num_vertices();
+  result.start = instance.start;
+  McOptions mc = options.mc;
+  mc.seed = mix64(options.seed ^ 0xc0de5eedULL);
+  result.points = estimate_speedup_curve(instance.graph, instance.start, ks,
+                                         mc, options.cover, pool);
+  if (!result.points.empty()) result.single = result.points.front().single;
+  return result;
+}
+
+TextTable render_speedup_curve(const SpeedupCurveResult& result,
+                               const std::string& reference_header,
+                               const std::vector<double>& reference_values) {
+  std::ostringstream title;
+  title << "Speed-up curve on " << result.name << " from vertex "
+        << result.start << " (C = "
+        << format_mean_pm(result.single.ci.mean, result.single.ci.half_width)
+        << ")";
+  TextTable table(title.str());
+  table.add_column("k").add_column("C^k").add_column("S^k = C/C^k");
+  const bool have_reference = !reference_header.empty();
+  if (have_reference) {
+    MW_REQUIRE(reference_values.size() == result.points.size(),
+               "one reference value per point required");
+    table.add_column(reference_header);
+    table.add_column("S^k / ref");
+  }
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const SpeedupEstimate& p = result.points[i];
+    table.begin_row();
+    table.cell(static_cast<std::uint64_t>(p.k));
+    table.cell(format_mean_pm(p.multi.ci.mean, p.multi.ci.half_width));
+    table.cell(format_mean_pm(p.speedup, p.half_width, 3));
+    if (have_reference) {
+      table.cell(format_double(reference_values[i]));
+      table.cell(format_double(
+          reference_values[i] > 0 ? p.speedup / reference_values[i] : 0.0, 3));
+    }
+  }
+  return table;
+}
+
+BarbellResult run_barbell_experiment(std::span<const Vertex> ns, double c_k,
+                                     const ExperimentOptions& options,
+                                     ThreadPool* pool) {
+  MW_REQUIRE(c_k > 0.0, "c_k must be positive");
+  BarbellResult result;
+  for (Vertex n : ns) {
+    FamilyInstance instance =
+        make_family_instance(GraphFamily::kBarbell, n, options.seed);
+    const Vertex actual_n = instance.graph.num_vertices();
+    BarbellPoint point;
+    point.n = actual_n;
+    point.k = static_cast<unsigned>(std::max(
+        2.0, std::ceil(c_k * std::log(static_cast<double>(actual_n)))));
+
+    McOptions mc = options.mc;
+    mc.seed = mix64(options.seed ^ (0xbabe11ULL + actual_n));
+    point.single = estimate_cover_time(instance.graph, instance.start, mc,
+                                       options.cover, pool);
+    mc.seed = mix64(options.seed ^ (0xbabe22ULL + actual_n));
+    point.multi = estimate_k_cover_time(instance.graph, instance.start,
+                                        point.k, mc, options.cover, pool);
+    const double nn = static_cast<double>(actual_n);
+    point.single_over_n2 = point.single.ci.mean / (nn * nn);
+    point.multi_over_n = point.multi.ci.mean / nn;
+    point.speedup = point.single.ci.mean / point.multi.ci.mean;
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+TextTable render_barbell(const BarbellResult& result) {
+  TextTable table(
+      "Barbell B_n from the center (Thm 7 / Fig 1): C = Θ(n²) vs "
+      "C^k = O(n) at k = Θ(log n)");
+  table.add_column("n")
+      .add_column("k")
+      .add_column("C (1 walk)")
+      .add_column("C/n²")
+      .add_column("C^k")
+      .add_column("C^k/n")
+      .add_column("speed-up");
+  for (const BarbellPoint& p : result.points) {
+    table.begin_row();
+    table.cell(static_cast<std::uint64_t>(p.n));
+    table.cell(static_cast<std::uint64_t>(p.k));
+    table.cell(format_mean_pm(p.single.ci.mean, p.single.ci.half_width));
+    table.cell(format_double(p.single_over_n2, 3));
+    table.cell(format_mean_pm(p.multi.ci.mean, p.multi.ci.half_width));
+    table.cell(format_double(p.multi_over_n, 3));
+    table.cell(format_double(p.speedup, 3));
+  }
+  return table;
+}
+
+}  // namespace manywalks

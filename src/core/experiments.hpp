@@ -1,0 +1,91 @@
+// Experiment runners shared by the bench binaries and integration tests.
+// Each runner returns a structured result; render_* turns it into the
+// paper-style text table.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/families.hpp"
+#include "mc/estimators.hpp"
+#include "util/table.hpp"
+
+namespace manywalks {
+
+struct ExperimentOptions {
+  std::uint64_t seed = 7;
+  McOptions mc;
+  CoverOptions cover;
+  std::uint64_t hmax_exact_limit = 1200;
+  std::uint64_t mixing_cap = 400'000;
+  unsigned threads = 0;  ///< workers for the shared pool (0 = hardware)
+};
+
+// --- Table 1 ---------------------------------------------------------------
+
+struct Table1Row {
+  std::string name;
+  Vertex n = 0;
+  std::uint64_t m = 0;
+  GraphProfile profile;
+  std::vector<SpeedupEstimate> speedups;  ///< measured at the requested ks
+  TheoryProfile theory;
+};
+
+/// Measures one Table-1 row: Ĉ, h_max, t_m, and S^k for each k in `ks`.
+Table1Row run_table1_row(const FamilyInstance& instance,
+                         std::span<const unsigned> ks,
+                         const ExperimentOptions& options,
+                         ThreadPool* pool = nullptr);
+
+TextTable render_table1(std::span<const Table1Row> rows,
+                        std::span<const unsigned> ks);
+
+// --- generic speed-up curve (Thms 6, 8, 18) ---------------------------------
+
+struct SpeedupCurveResult {
+  std::string name;
+  Vertex n = 0;
+  Vertex start = 0;
+  McResult single;  ///< Ĉ baseline
+  std::vector<SpeedupEstimate> points;
+};
+
+SpeedupCurveResult run_speedup_curve(const FamilyInstance& instance,
+                                     std::span<const unsigned> ks,
+                                     const ExperimentOptions& options,
+                                     ThreadPool* pool = nullptr);
+
+/// Renders k, Ĉ^k, S^k plus a per-point reference column ("k", "ln k", ...)
+/// computed by `reference` (may be empty).
+TextTable render_speedup_curve(const SpeedupCurveResult& result,
+                               const std::string& reference_header,
+                               const std::vector<double>& reference_values);
+
+// --- barbell (Figure 1 / Thm 7) ---------------------------------------------
+
+struct BarbellPoint {
+  Vertex n = 0;
+  unsigned k = 0;            ///< Θ(log n) walks
+  McResult single;           ///< Ĉ_{v_c}
+  McResult multi;            ///< Ĉ^k_{v_c}
+  double single_over_n2 = 0; ///< Ĉ / n^2 (should be ~const: Θ(n^2))
+  double multi_over_n = 0;   ///< Ĉ^k / n (should be ~const: O(n))
+  double speedup = 0;
+};
+
+struct BarbellResult {
+  std::vector<BarbellPoint> points;
+};
+
+/// Thm 7: sweeps n, runs k = ceil(c_k · ln n) walks from the barbell
+/// center, and verifies C = Θ(n^2) vs C^k = O(n).
+BarbellResult run_barbell_experiment(std::span<const Vertex> ns, double c_k,
+                                     const ExperimentOptions& options,
+                                     ThreadPool* pool = nullptr);
+
+TextTable render_barbell(const BarbellResult& result);
+
+}  // namespace manywalks

@@ -1,0 +1,54 @@
+#include "core/regime.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace manywalks {
+
+std::string_view regime_name(SpeedupRegime regime) {
+  switch (regime) {
+    case SpeedupRegime::kLogarithmic:
+      return "logarithmic";
+    case SpeedupRegime::kSublinear:
+      return "sublinear";
+    case SpeedupRegime::kLinear:
+      return "linear";
+    case SpeedupRegime::kSuperLinear:
+      return "super-linear";
+  }
+  return "?";
+}
+
+RegimeFit classify_speedup_regime(std::span<const SpeedupEstimate> points,
+                                  const RegimeThresholds& thresholds) {
+  std::vector<double> log_k;
+  std::vector<double> log_s;
+  for (const SpeedupEstimate& p : points) {
+    if (p.k < 2) continue;  // S^1 = 1 carries no slope information
+    MW_REQUIRE(p.speedup > 0.0, "speed-ups must be positive");
+    log_k.push_back(std::log(static_cast<double>(p.k)));
+    log_s.push_back(std::log(p.speedup));
+  }
+  MW_REQUIRE(log_k.size() >= 2,
+             "regime classification needs >= 2 points with k >= 2");
+
+  const LinearFit fit = linear_fit(log_k, log_s);
+  RegimeFit out;
+  out.exponent = fit.slope;
+  out.multiplier = std::exp(fit.intercept);
+  out.r_squared = fit.r_squared;
+  if (fit.slope >= thresholds.super_linear_above) {
+    out.regime = SpeedupRegime::kSuperLinear;
+  } else if (fit.slope >= thresholds.linear_above) {
+    out.regime = SpeedupRegime::kLinear;
+  } else if (fit.slope < thresholds.logarithmic_below) {
+    out.regime = SpeedupRegime::kLogarithmic;
+  } else {
+    out.regime = SpeedupRegime::kSublinear;
+  }
+  return out;
+}
+
+}  // namespace manywalks

@@ -1,0 +1,51 @@
+// Speed-up regime classification.
+//
+// Table 1's punchline is that different graphs sit in different speed-up
+// regimes: S^k ~ k (linear), S^k ~ log k (the cycle), or even super-linear
+// from special starts (the barbell). Given a measured speed-up curve, this
+// module fits the power law S^k = c * k^b on the k > 1 points and maps the
+// exponent b to a regime — a quantitative replacement for eyeballing the
+// tables, used by tests and the fig_conjectures harness.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "mc/estimators.hpp"
+#include "util/stats.hpp"
+
+namespace manywalks {
+
+enum class SpeedupRegime {
+  kLogarithmic,  ///< exponent near 0: S^k grows like log k (cycle, path)
+  kSublinear,    ///< between: partial dispersal (grid at mid k)
+  kLinear,       ///< exponent near 1: S^k ~ k (expanders, Matthews-tight)
+  kSuperLinear,  ///< exponent > 1: more than k-fold (barbell from center)
+};
+
+std::string_view regime_name(SpeedupRegime regime);
+
+struct RegimeFit {
+  /// Exponent b of the least-squares power law S^k = c·k^b over the k >= 2
+  /// points (log-log OLS).
+  double exponent = 0.0;
+  /// Multiplier c of the power law.
+  double multiplier = 1.0;
+  /// R² of the log-log fit.
+  double r_squared = 0.0;
+  SpeedupRegime regime = SpeedupRegime::kSublinear;
+};
+
+struct RegimeThresholds {
+  double logarithmic_below = 0.45;  ///< b below this -> logarithmic
+  double linear_above = 0.8;        ///< b above this -> linear
+  double super_linear_above = 1.25; ///< b above this -> super-linear
+};
+
+/// Fits the power law and classifies. Requires at least two points with
+/// k >= 2 and positive speed-ups; k values should span at least a factor 4
+/// for the exponent to mean anything.
+RegimeFit classify_speedup_regime(std::span<const SpeedupEstimate> points,
+                                  const RegimeThresholds& thresholds = {});
+
+}  // namespace manywalks

@@ -1,0 +1,52 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace manywalks {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << "# manywalks-graph 1\n" << g.num_vertices() << "\n";
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (Vertex u : g.neighbors(v)) {
+      if (v <= u) os << v << ' ' << u << '\n';  // each edge once; loops once
+    }
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  MW_REQUIRE(std::getline(is, line), "empty graph stream");
+  MW_REQUIRE(line.rfind("# manywalks-graph", 0) == 0,
+             "missing manywalks-graph header, got '" << line << "'");
+  MW_REQUIRE(std::getline(is, line), "missing vertex count");
+  std::uint64_t n = 0;
+  {
+    std::istringstream ls(line);
+    MW_REQUIRE(static_cast<bool>(ls >> n), "bad vertex count '" << line << "'");
+    MW_REQUIRE(n < kInvalidVertex, "vertex count too large");
+  }
+  GraphBuilder b(static_cast<Vertex>(n));
+  std::uint64_t line_no = 2;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    MW_REQUIRE(static_cast<bool>(ls >> u >> v),
+               "bad edge on line " << line_no << ": '" << line << "'");
+    MW_REQUIRE(u < n && v < n, "edge endpoint out of range on line " << line_no);
+    b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+  GraphBuilder::BuildOptions options;
+  options.duplicates = GraphBuilder::DuplicatePolicy::kKeep;
+  options.loops = GraphBuilder::LoopPolicy::kKeep;
+  return b.build(options);
+}
+
+}  // namespace manywalks

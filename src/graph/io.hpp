@@ -1,0 +1,23 @@
+// Plain-text edge-list serialization.
+//
+// Format:
+//   # manywalks-graph 1
+//   <num_vertices>
+//   <u> <v>      (one line per undirected edge; loops as "v v";
+//                 parallel edges repeated)
+#pragma once
+
+#include <iosfwd>
+
+#include "graph/graph.hpp"
+
+namespace manywalks {
+
+/// Writes the graph in edge-list format.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parses a graph written by write_edge_list. Throws std::invalid_argument
+/// on malformed input.
+Graph read_edge_list(std::istream& is);
+
+}  // namespace manywalks

@@ -1,0 +1,183 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace manywalks {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source) {
+  const Vertex n = g.num_vertices();
+  MW_REQUIRE(source < n, "bfs source out of range");
+  std::vector<std::uint32_t> dist(n, kUnreachable);
+  std::vector<Vertex> frontier{source};
+  std::vector<Vertex> next;
+  dist[source] = 0;
+  std::uint32_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (Vertex v : frontier) {
+      for (Vertex u : g.neighbors(v)) {
+        if (dist[u] == kUnreachable) {
+          dist[u] = depth;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  if (n <= 1) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+ComponentDecomposition connected_components(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  ComponentDecomposition out;
+  out.component_of.assign(n, kInvalidVertex);
+  std::vector<Vertex> stack;
+  for (Vertex root = 0; root < n; ++root) {
+    if (out.component_of[root] != kInvalidVertex) continue;
+    const Vertex id = out.num_components++;
+    out.sizes.push_back(0);
+    stack.push_back(root);
+    out.component_of[root] = id;
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      ++out.sizes[id];
+      for (Vertex u : g.neighbors(v)) {
+        if (out.component_of[u] == kInvalidVertex) {
+          out.component_of[u] = id;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  if (out.num_components > 0) {
+    out.largest = static_cast<Vertex>(
+        std::max_element(out.sizes.begin(), out.sizes.end()) -
+        out.sizes.begin());
+  }
+  return out;
+}
+
+InducedSubgraph extract_largest_component(const Graph& g) {
+  const auto comps = connected_components(g);
+  const Vertex n = g.num_vertices();
+  InducedSubgraph out;
+  out.old_to_new.assign(n, kInvalidVertex);
+  for (Vertex v = 0; v < n; ++v) {
+    if (comps.component_of[v] == comps.largest) {
+      out.old_to_new[v] = static_cast<Vertex>(out.new_to_old.size());
+      out.new_to_old.push_back(v);
+    }
+  }
+  GraphBuilder b(static_cast<Vertex>(out.new_to_old.size()));
+  for (Vertex v : out.new_to_old) {
+    for (Vertex u : g.neighbors(v)) {
+      // Keep each undirected edge once: loops directly, others when v <= u.
+      if (u == v || v < u) {
+        if (u == v) {
+          b.add_edge(out.old_to_new[v], out.old_to_new[v]);
+        } else {
+          b.add_edge(out.old_to_new[v], out.old_to_new[u]);
+        }
+      }
+    }
+  }
+  GraphBuilder::BuildOptions options;
+  options.duplicates = GraphBuilder::DuplicatePolicy::kKeep;
+  options.loops = GraphBuilder::LoopPolicy::kKeep;
+  out.graph = b.build(options);
+  return out;
+}
+
+std::uint32_t eccentricity(const Graph& g, Vertex v) {
+  const auto dist = bfs_distances(g, v);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d == kUnreachable) return kUnreachable;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter_exact(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  MW_REQUIRE(n >= 1, "diameter of empty graph");
+  std::uint32_t best = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    const std::uint32_t ecc = eccentricity(g, v);
+    if (ecc == kUnreachable) return kUnreachable;
+    best = std::max(best, ecc);
+  }
+  return best;
+}
+
+std::uint32_t diameter_lower_bound(const Graph& g, Rng& rng, unsigned sweeps) {
+  const Vertex n = g.num_vertices();
+  MW_REQUIRE(n >= 1, "diameter of empty graph");
+  std::uint32_t best = 0;
+  Vertex probe = rng.uniform_below(n);
+  for (unsigned s = 0; s < sweeps; ++s) {
+    const auto dist = bfs_distances(g, probe);
+    Vertex far = probe;
+    std::uint32_t far_d = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      if (dist[v] != kUnreachable && dist[v] >= far_d) {
+        far_d = dist[v];
+        far = v;
+      }
+    }
+    best = std::max(best, far_d);
+    probe = far;  // double sweep: restart from the farthest vertex found
+  }
+  return best;
+}
+
+bool is_bipartite(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  if (g.num_loops() > 0) return false;
+  std::vector<std::uint8_t> color(n, 2);  // 2 = uncolored
+  std::vector<Vertex> stack;
+  for (Vertex root = 0; root < n; ++root) {
+    if (color[root] != 2) continue;
+    color[root] = 0;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (Vertex u : g.neighbors(v)) {
+        if (color[u] == 2) {
+          color[u] = static_cast<std::uint8_t>(1 - color[v]);
+          stack.push_back(u);
+        } else if (color[u] == color[v]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats stats;
+  const Vertex n = g.num_vertices();
+  if (n == 0) return stats;
+  stats.min = g.min_degree();
+  stats.max = g.max_degree();
+  stats.mean = static_cast<double>(g.num_arcs()) / static_cast<double>(n);
+  stats.regular = stats.min == stats.max;
+  return stats;
+}
+
+}  // namespace manywalks

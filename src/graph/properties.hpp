@@ -1,0 +1,71 @@
+// Structural graph algorithms: BFS, connectivity, components, diameter,
+// bipartiteness, degree statistics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace manywalks {
+
+/// Sentinel distance for unreachable vertices.
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+/// BFS hop distances from `source` (kUnreachable where disconnected).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source);
+
+/// True iff the graph is connected (vacuously true for n <= 1).
+bool is_connected(const Graph& g);
+
+struct ComponentDecomposition {
+  std::vector<Vertex> component_of;  ///< component id per vertex (0-based)
+  Vertex num_components = 0;
+  /// Sizes indexed by component id.
+  std::vector<Vertex> sizes;
+  /// Id of a largest component.
+  Vertex largest = 0;
+};
+
+ComponentDecomposition connected_components(const Graph& g);
+
+/// Result of extracting an induced subgraph.
+struct InducedSubgraph {
+  Graph graph;
+  /// old vertex id -> new id (kInvalidVertex if dropped).
+  std::vector<Vertex> old_to_new;
+  /// new vertex id -> old id.
+  std::vector<Vertex> new_to_old;
+};
+
+/// Induced subgraph on the largest connected component (keeps loops and
+/// parallel edges).
+InducedSubgraph extract_largest_component(const Graph& g);
+
+/// Max BFS distance from v to any vertex; kUnreachable if disconnected.
+std::uint32_t eccentricity(const Graph& g, Vertex v);
+
+/// Exact diameter via all-sources BFS, O(n·m) — intended for n ≲ 10^4.
+/// Returns kUnreachable for disconnected graphs.
+std::uint32_t diameter_exact(const Graph& g);
+
+/// Lower bound on the diameter via `sweeps` double-sweep BFS probes.
+std::uint32_t diameter_lower_bound(const Graph& g, Rng& rng,
+                                   unsigned sweeps = 4);
+
+/// True iff the graph is bipartite (no odd cycle; self loops make a graph
+/// non-bipartite).
+bool is_bipartite(const Graph& g);
+
+struct DegreeStats {
+  Vertex min = 0;
+  Vertex max = 0;
+  double mean = 0.0;
+  bool regular = false;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+}  // namespace manywalks

@@ -1,0 +1,49 @@
+// Small dense linear algebra: row-major matrices and Gaussian elimination.
+// Used by the exact hitting-time and exact cover-time solvers on small
+// graphs; not intended for large n.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace manywalks {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static DenseMatrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// y = A x
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+  DenseMatrix multiply(const DenseMatrix& other) const;
+
+  /// Max-norm of (A - B); matrices must have equal shape.
+  double max_abs_diff(const DenseMatrix& other) const;
+
+  std::vector<double>& data() noexcept { return data_; }
+  const std::vector<double>& data() const noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting; A and b are
+/// taken by value (the copy is the workspace). Throws std::invalid_argument
+/// if A is (numerically) singular.
+std::vector<double> solve_linear(DenseMatrix a, std::vector<double> b);
+
+/// Solves A X = B for several right-hand sides at once (B columns).
+DenseMatrix solve_linear_multi(DenseMatrix a, DenseMatrix b);
+
+}  // namespace manywalks

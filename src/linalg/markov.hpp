@@ -1,0 +1,60 @@
+// Markov-chain machinery for the simple random walk on a graph: the
+// transition operator, stationary distribution, and the paper's mixing time
+// (smallest t with sum_v |p^t(u,v) - pi(v)| < 1/e for all u).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "linalg/dense.hpp"
+
+namespace manywalks {
+
+/// Stationary distribution pi(v) = deg(v) / num_arcs of the simple walk.
+/// Requires a graph with at least one arc.
+std::vector<double> stationary_distribution(const Graph& g);
+
+/// One step of distribution evolution: out(v) = sum_{u ~ v} in(u)/deg(u),
+/// optionally lazified: out = laziness*in + (1-laziness)*P·in. Multi-edges
+/// and loops are counted per arc. `in` and `out` must differ.
+void evolve_distribution(const Graph& g, const std::vector<double>& in,
+                         std::vector<double>& out, double laziness = 0.0);
+
+/// L1 distance sum_v |a(v) - b(v)| (the paper's "statistical distance" is
+/// this quantity, thresholded at 1/e).
+double l1_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Total variation distance = l1/2.
+double total_variation(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Dense row-stochastic transition matrix of the (lazy) simple walk; for
+/// exact computations on small graphs.
+DenseMatrix transition_matrix_dense(const Graph& g, double laziness = 0.0);
+
+struct MixingOptions {
+  /// Laziness of the walk (probability of staying put each step). The
+  /// paper's chains are non-lazy; bipartite graphs then never mix — pass
+  /// 0.5 to measure the standard lazy mixing time instead.
+  double laziness = 0.0;
+  /// Convergence threshold on the L1 distance (paper: 1/e).
+  double threshold = 0.36787944117144233;
+  /// Hard cap on steps; if exceeded, `converged=false`.
+  std::uint64_t max_steps = 1'000'000;
+  /// Sources to maximize over; empty = all vertices (use for small n or
+  /// vertex-transitive graphs where one source suffices).
+  std::vector<Vertex> sources;
+};
+
+struct MixingResult {
+  std::uint64_t time = 0;    ///< max over sources of first t below threshold
+  bool converged = false;    ///< false if any source exceeded max_steps
+  Vertex worst_source = 0;   ///< source achieving the max
+};
+
+/// Measures the paper's mixing time by explicit distribution evolution,
+/// O(max-over-sources t_mix · arcs) per source.
+MixingResult mixing_time(const Graph& g, const MixingOptions& options = {});
+
+}  // namespace manywalks

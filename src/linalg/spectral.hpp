@@ -1,0 +1,51 @@
+// Spectral tools: second-largest eigenvalue (in absolute value) of the
+// normalized adjacency operator, spectral gap, and (n,d,λ)-expander
+// certification (paper §4.1).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace manywalks {
+
+struct SpectralOptions {
+  std::uint64_t max_iterations = 20'000;
+  double tolerance = 1e-10;  ///< convergence threshold on eigenvalue change
+  std::uint64_t seed = 0x5eed5eedULL;  ///< start-vector seed
+};
+
+struct SpectralResult {
+  /// max |λ| over non-trivial eigenvalues of the normalized adjacency
+  /// operator D^{-1/2} A D^{-1/2} (equivalently of the walk matrix P, which
+  /// is similar). In [0, 1] for connected graphs.
+  double lambda_norm = 0.0;
+  /// 1 - lambda_norm.
+  double spectral_gap = 0.0;
+  std::uint64_t iterations = 0;
+  bool converged = false;
+};
+
+/// Power iteration with deflation of the known top eigenvector
+/// phi_1(v) ∝ sqrt(deg v). Converges to the largest-|λ| non-trivial
+/// eigenvalue; handles multi-edges and loops (each arc is a unit weight).
+SpectralResult second_eigenvalue(const Graph& g,
+                                 const SpectralOptions& options = {});
+
+struct ExpanderCertificate {
+  bool is_regular = false;
+  Vertex degree = 0;
+  /// λ of the (n, d, λ) definition: max non-trivial |eigenvalue| of the
+  /// (unnormalized) adjacency matrix = d * lambda_norm for d-regular graphs.
+  double lambda = 0.0;
+  /// λ / d; an expander family keeps this bounded away from 1.
+  double lambda_ratio = 1.0;
+  bool converged = false;
+};
+
+/// Certifies a d-regular (multi)graph as an (n, d, λ)-graph by computing λ
+/// numerically. Requires a regular graph.
+ExpanderCertificate certify_expander(const Graph& g,
+                                     const SpectralOptions& options = {});
+
+}  // namespace manywalks

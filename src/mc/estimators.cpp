@@ -1,0 +1,171 @@
+#include "mc/estimators.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "util/check.hpp"
+#include "walk/sampling.hpp"
+
+namespace manywalks {
+
+McResult estimate_cover_time(const Graph& g, Vertex start, const McOptions& mc,
+                             const CoverOptions& cover, ThreadPool* pool) {
+  return run_monte_carlo(
+      [&g, start, &cover](std::uint64_t, Rng& rng) {
+        const CoverSample sample = sample_cover_time(g, start, rng, cover);
+        return TrialOutcome{static_cast<double>(sample.steps), !sample.covered};
+      },
+      mc, pool);
+}
+
+McResult estimate_k_cover_time(const Graph& g, Vertex start, unsigned k,
+                               const McOptions& mc, const CoverOptions& cover,
+                               ThreadPool* pool) {
+  MW_REQUIRE(k >= 1, "k must be >= 1");
+  return run_monte_carlo(
+      [&g, start, k, &cover](std::uint64_t, Rng& rng) {
+        const CoverSample sample = sample_k_cover_time(g, start, k, rng, cover);
+        return TrialOutcome{static_cast<double>(sample.steps), !sample.covered};
+      },
+      mc, pool);
+}
+
+McResult estimate_multi_cover_time(const Graph& g,
+                                   std::span<const Vertex> starts,
+                                   const McOptions& mc,
+                                   const CoverOptions& cover,
+                                   ThreadPool* pool) {
+  std::vector<Vertex> starts_copy(starts.begin(), starts.end());
+  return run_monte_carlo(
+      [&g, starts_copy, &cover](std::uint64_t, Rng& rng) {
+        const CoverSample sample =
+            sample_multi_cover_time(g, starts_copy, rng, cover);
+        return TrialOutcome{static_cast<double>(sample.steps), !sample.covered};
+      },
+      mc, pool);
+}
+
+McResult estimate_hitting_time(const Graph& g, Vertex from, Vertex to,
+                               const McOptions& mc, const HitOptions& hit,
+                               ThreadPool* pool) {
+  return run_monte_carlo(
+      [&g, from, to, &hit](std::uint64_t, Rng& rng) {
+        const HitSample sample = sample_hitting_time(g, from, to, rng, hit);
+        return TrialOutcome{static_cast<double>(sample.steps), !sample.hit};
+      },
+      mc, pool);
+}
+
+MaxCoverEstimate estimate_max_cover_time(const Graph& g,
+                                         std::span<const Vertex> starts,
+                                         const McOptions& mc,
+                                         const CoverOptions& cover,
+                                         ThreadPool* pool) {
+  MW_REQUIRE(!starts.empty(), "need at least one candidate start");
+  MaxCoverEstimate best;
+  bool first = true;
+  std::uint64_t salt = 0;
+  for (Vertex start : starts) {
+    McOptions per_start = mc;
+    per_start.seed = mix64(mc.seed ^ (0xc0ffee + salt++));
+    McResult result = estimate_cover_time(g, start, per_start, cover, pool);
+    if (first || result.ci.mean > best.result.ci.mean) {
+      best.result = std::move(result);
+      best.argmax_start = start;
+      first = false;
+    }
+  }
+  return best;
+}
+
+SpeedupEstimate combine_speedup(unsigned k, const McResult& single,
+                                const McResult& multi) {
+  MW_REQUIRE(multi.ci.mean > 0.0, "k-walk cover estimate must be positive");
+  MW_REQUIRE(single.ci.mean > 0.0, "1-walk cover estimate must be positive");
+  SpeedupEstimate est;
+  est.k = k;
+  est.single = single;
+  est.multi = multi;
+  est.speedup = single.ci.mean / multi.ci.mean;
+  const double rel1 = single.ci.half_width / single.ci.mean;
+  const double relk = multi.ci.half_width / multi.ci.mean;
+  est.half_width = est.speedup * std::sqrt(rel1 * rel1 + relk * relk);
+  return est;
+}
+
+std::vector<double> collect_cover_samples(const Graph& g, Vertex start,
+                                          unsigned k, std::uint64_t trials,
+                                          std::uint64_t seed,
+                                          const CoverOptions& cover,
+                                          ThreadPool* pool) {
+  MW_REQUIRE(k >= 1, "k must be >= 1");
+  MW_REQUIRE(trials >= 1, "need at least one trial");
+  std::unique_ptr<ThreadPool> local_pool;
+  if (pool == nullptr) {
+    local_pool = std::make_unique<ThreadPool>(0);
+    pool = local_pool.get();
+  }
+  std::vector<double> samples(trials, 0.0);
+  parallel_for(*pool, 0, trials, [&](std::uint64_t i) {
+    Rng rng = make_trial_rng(seed, i);
+    const CoverSample sample = sample_k_cover_time(g, start, k, rng, cover);
+    samples[i] = static_cast<double>(sample.steps);
+  });
+  return samples;
+}
+
+McResult estimate_stationary_start_cover(const Graph& g, unsigned k,
+                                         const McOptions& mc,
+                                         const CoverOptions& cover,
+                                         ThreadPool* pool) {
+  MW_REQUIRE(k >= 1, "k must be >= 1");
+  return run_monte_carlo(
+      [&g, k, &cover](std::uint64_t, Rng& rng) {
+        const std::vector<Vertex> starts = sample_stationary_starts(g, k, rng);
+        const CoverSample sample =
+            sample_multi_cover_time(g, starts, rng, cover);
+        return TrialOutcome{static_cast<double>(sample.steps), !sample.covered};
+      },
+      mc, pool);
+}
+
+SpeedupEstimate estimate_speedup(const Graph& g, Vertex start, unsigned k,
+                                 const McOptions& mc, const CoverOptions& cover,
+                                 ThreadPool* pool) {
+  const unsigned ks[1] = {k};
+  return estimate_speedup_curve(g, start, ks, mc, cover, pool).front();
+}
+
+std::vector<SpeedupEstimate> estimate_speedup_curve(
+    const Graph& g, Vertex start, std::span<const unsigned> ks,
+    const McOptions& mc, const CoverOptions& cover, ThreadPool* pool) {
+  MW_REQUIRE(!ks.empty(), "need at least one k");
+  std::unique_ptr<ThreadPool> local_pool;
+  if (pool == nullptr) {
+    local_pool = std::make_unique<ThreadPool>(mc.threads);
+    pool = local_pool.get();
+  }
+  McOptions base = mc;
+  base.seed = mix64(mc.seed ^ 0x1a1cULL);  // distinct stream for the baseline
+  const McResult single = estimate_cover_time(g, start, base, cover, pool);
+
+  std::vector<SpeedupEstimate> curve;
+  curve.reserve(ks.size());
+  for (unsigned k : ks) {
+    MW_REQUIRE(k >= 1, "k must be >= 1");
+    McOptions per_k = mc;
+    per_k.seed = mix64(mc.seed ^ (0xbeef00ULL + k));
+    const McResult multi =
+        k == 1 ? single : estimate_k_cover_time(g, start, k, per_k, cover, pool);
+    SpeedupEstimate est = combine_speedup(k, single, multi);
+    if (k == 1) {
+      // Numerator and denominator are the same estimate: S^1 is exactly 1
+      // with no uncertainty (perfectly correlated errors).
+      est.half_width = 0.0;
+    }
+    curve.push_back(est);
+  }
+  return curve;
+}
+
+}  // namespace manywalks

@@ -1,0 +1,96 @@
+// Monte-Carlo estimators for the paper's quantities: C_i, C^k_i, h(u,v),
+// and the speed-up S^k = C / C^k with propagated uncertainty.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mc/monte_carlo.hpp"
+#include "walk/cover.hpp"
+#include "walk/hitting.hpp"
+
+namespace manywalks {
+
+/// Estimates the single-walk expected cover time C_start.
+McResult estimate_cover_time(const Graph& g, Vertex start,
+                             const McOptions& mc, const CoverOptions& cover = {},
+                             ThreadPool* pool = nullptr);
+
+/// Estimates the k-walk expected cover time C^k_start (k tokens at start).
+McResult estimate_k_cover_time(const Graph& g, Vertex start, unsigned k,
+                               const McOptions& mc,
+                               const CoverOptions& cover = {},
+                               ThreadPool* pool = nullptr);
+
+/// Estimates the cover time of a k-walk with explicit starting vertices.
+McResult estimate_multi_cover_time(const Graph& g,
+                                   std::span<const Vertex> starts,
+                                   const McOptions& mc,
+                                   const CoverOptions& cover = {},
+                                   ThreadPool* pool = nullptr);
+
+/// Estimates h(from, to) for a single walk.
+McResult estimate_hitting_time(const Graph& g, Vertex from, Vertex to,
+                               const McOptions& mc, const HitOptions& hit = {},
+                               ThreadPool* pool = nullptr);
+
+/// C(G) = max_i C_i over the supplied candidate starts (each estimated
+/// independently; returns the max and its argmax).
+struct MaxCoverEstimate {
+  McResult result;
+  Vertex argmax_start = 0;
+};
+MaxCoverEstimate estimate_max_cover_time(const Graph& g,
+                                         std::span<const Vertex> starts,
+                                         const McOptions& mc,
+                                         const CoverOptions& cover = {},
+                                         ThreadPool* pool = nullptr);
+
+/// A measured speed-up point S^k = Ĉ / Ĉ^k.
+struct SpeedupEstimate {
+  unsigned k = 1;
+  McResult single;  ///< Ĉ (k = 1)
+  McResult multi;   ///< Ĉ^k
+  double speedup = 1.0;
+  /// First-order propagated half-width:
+  /// S * sqrt((δC/C)^2 + (δC^k/C^k)^2).
+  double half_width = 0.0;
+};
+
+/// Estimates S^k at a single k (runs both the 1-walk and the k-walk).
+SpeedupEstimate estimate_speedup(const Graph& g, Vertex start, unsigned k,
+                                 const McOptions& mc,
+                                 const CoverOptions& cover = {},
+                                 ThreadPool* pool = nullptr);
+
+/// Estimates S^k across several k, reusing one k=1 baseline estimate.
+std::vector<SpeedupEstimate> estimate_speedup_curve(
+    const Graph& g, Vertex start, std::span<const unsigned> ks,
+    const McOptions& mc, const CoverOptions& cover = {},
+    ThreadPool* pool = nullptr);
+
+/// Combines two cover-time estimates into a speed-up with propagated error.
+SpeedupEstimate combine_speedup(unsigned k, const McResult& single,
+                                const McResult& multi);
+
+/// Raw k-walk cover-time samples (k tokens from `start`), one value per
+/// trial, in trial order. For distribution/concentration studies
+/// (paper Thm 17: tau/C -> 1 when C/h_max -> infinity).
+std::vector<double> collect_cover_samples(const Graph& g, Vertex start,
+                                          unsigned k, std::uint64_t trials,
+                                          std::uint64_t seed,
+                                          const CoverOptions& cover = {},
+                                          ThreadPool* pool = nullptr);
+
+/// k-walk cover time with the k starting vertices RE-DRAWN each trial from
+/// the stationary distribution — the setting of the paper's §1.1
+/// comparison with Broder et al. (expected O(m^2 log^3 n / k^2)) and of
+/// the Lemma 19 remark (O(n log n / k) on expanders).
+McResult estimate_stationary_start_cover(const Graph& g, unsigned k,
+                                         const McOptions& mc,
+                                         const CoverOptions& cover = {},
+                                         ThreadPool* pool = nullptr);
+
+}  // namespace manywalks

@@ -1,0 +1,71 @@
+#include "mc/monte_carlo.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace manywalks {
+
+McResult run_monte_carlo(const TrialFn& trial, const McOptions& options,
+                         ThreadPool* pool) {
+  MW_REQUIRE(trial != nullptr, "null trial function");
+  MW_REQUIRE(options.min_trials >= 1, "min_trials must be >= 1");
+  MW_REQUIRE(options.max_trials >= options.min_trials,
+             "max_trials must be >= min_trials");
+  MW_REQUIRE(options.target_rel_half_width > 0.0,
+             "target_rel_half_width must be positive");
+
+  std::unique_ptr<ThreadPool> local_pool;
+  if (pool == nullptr) {
+    local_pool = std::make_unique<ThreadPool>(options.threads);
+    pool = local_pool.get();
+  }
+
+  Stopwatch watch;
+  McResult result;
+  std::vector<TrialOutcome> batch_values;
+
+  std::uint64_t done = 0;
+  while (done < options.max_trials) {
+    // Batch size: enough to keep all workers busy, but no further than the
+    // trial budget; the first batch covers min_trials so the CI is
+    // meaningful at the first check.
+    const std::uint64_t want =
+        done == 0 ? options.min_trials
+                  : std::max<std::uint64_t>(2ULL * (pool->size() + 1), 8);
+    const std::uint64_t batch = std::min(want, options.max_trials - done);
+    batch_values.assign(batch, TrialOutcome{});
+    parallel_for(
+        *pool, 0, batch,
+        [&](std::uint64_t i) {
+          const std::uint64_t index = done + i;
+          Rng rng = make_trial_rng(options.seed, index);
+          batch_values[i] = trial(index, rng);
+        },
+        /*grain=*/1);
+    // Index-ordered reduction keeps the result independent of scheduling.
+    for (const TrialOutcome& outcome : batch_values) {
+      result.stats.add(outcome.value);
+      if (outcome.censored) ++result.censored;
+    }
+    done += batch;
+
+    if (done >= options.min_trials) {
+      result.ci = mean_confidence_interval(result.stats, options.confidence);
+      if (result.ci.relative_half_width() <= options.target_rel_half_width) {
+        result.target_met = true;
+        break;
+      }
+    }
+  }
+  result.ci = mean_confidence_interval(result.stats, options.confidence);
+  result.target_met =
+      result.ci.relative_half_width() <= options.target_rel_half_width;
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace manywalks

@@ -1,0 +1,52 @@
+// Deterministic parallel Monte-Carlo driver.
+//
+// Reproducibility contract: trial i under master seed s always uses
+// make_trial_rng(s, i), and results are reduced in trial-index order, so
+// estimates are bit-identical regardless of thread count or scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace manywalks {
+
+struct McOptions {
+  std::uint64_t min_trials = 16;
+  std::uint64_t max_trials = 512;
+  /// Adaptive stop: finish once the CI half-width is below this fraction of
+  /// the mean (checked batch-wise after min_trials).
+  double target_rel_half_width = 0.05;
+  double confidence = 0.95;
+  std::uint64_t seed = 0x5eedULL;
+  /// Worker threads; 0 = hardware concurrency. Only used when no external
+  /// pool is supplied.
+  unsigned threads = 0;
+};
+
+struct McResult {
+  ConfidenceInterval ci;
+  RunningStats stats;
+  bool target_met = false;       ///< CI target reached before max_trials
+  std::uint64_t censored = 0;    ///< trials reporting a truncated value
+  double seconds = 0.0;          ///< wall clock spent
+};
+
+/// One trial's report: `value` enters the estimate either way; `censored`
+/// marks values truncated by a step cap (the mean is then a lower bound).
+struct TrialOutcome {
+  double value = 0.0;
+  bool censored = false;
+};
+
+using TrialFn = std::function<TrialOutcome(std::uint64_t index, Rng& rng)>;
+
+/// Runs trials in parallel batches until the CI target or max_trials.
+/// If `pool` is null a private pool with `options.threads` workers is used.
+McResult run_monte_carlo(const TrialFn& trial, const McOptions& options,
+                         ThreadPool* pool = nullptr);
+
+}  // namespace manywalks

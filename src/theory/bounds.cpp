@@ -1,0 +1,147 @@
+#include "theory/bounds.hpp"
+
+#include <cmath>
+
+#include "theory/closed_forms.hpp"
+#include "util/check.hpp"
+
+namespace manywalks {
+
+double matthews_upper_bound(double h_max, std::uint64_t n) {
+  MW_REQUIRE(h_max >= 0.0, "h_max must be nonnegative");
+  MW_REQUIRE(n >= 1, "n must be >= 1");
+  // The tight form of Matthews' theorem uses H_{n-1} (n-1 states left to
+  // visit); the paper's H_n display is the same up to O(1/n).
+  return h_max * harmonic_number(n - 1);
+}
+
+double matthews_lower_bound(double h_min, std::uint64_t n) {
+  MW_REQUIRE(h_min >= 0.0, "h_min must be nonnegative");
+  MW_REQUIRE(n >= 1, "n must be >= 1");
+  return h_min * harmonic_number(n - 1);
+}
+
+double baby_matthews_asymptotic(double h_max, std::uint64_t n, unsigned k) {
+  MW_REQUIRE(k >= 1, "k must be >= 1");
+  return std::exp(1.0) * h_max * harmonic_number(n) / static_cast<double>(k);
+}
+
+double baby_matthews_bound(double h_max, std::uint64_t n, unsigned k) {
+  MW_REQUIRE(k >= 1, "k must be >= 1");
+  MW_REQUIRE(n >= 9, "finite Baby-Matthews bound needs n >= 9");
+  const double ln_n = std::log(static_cast<double>(n));
+  const double ln2_n = ln_n * ln_n;
+  MW_ASSERT(ln2_n > 1.0);
+  const double r =
+      std::ceil((ln_n + 2.0 * std::log(ln_n)) / static_cast<double>(k));
+  const double main_term = std::exp(1.0) * r * h_max;
+  const double restart_term = matthews_upper_bound(h_max, n) / ln2_n;
+  return (main_term + restart_term) / (1.0 - 1.0 / ln2_n);
+}
+
+double theorem14_reference(double cover, double h_max, unsigned k, double f) {
+  MW_REQUIRE(k >= 1, "k must be >= 1");
+  return cover / static_cast<double>(k) +
+         (3.0 * std::log(static_cast<double>(k)) + 2.0 * f) * h_max;
+}
+
+double cover_hitting_gap(double cover, double h_max) {
+  MW_REQUIRE(h_max > 0.0, "h_max must be positive");
+  return cover / h_max;
+}
+
+double theorem5_max_k(double gap, double epsilon) {
+  MW_REQUIRE(gap >= 1.0, "gap must be >= 1");
+  MW_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+  return std::pow(gap, 1.0 - epsilon);
+}
+
+double cycle_k_cover_upper(std::uint64_t n, unsigned k) {
+  MW_REQUIRE(n >= 3, "cycle bounds need n >= 3");
+  MW_REQUIRE(k >= 2, "Lemma 22 needs k >= 2");
+  MW_REQUIRE(std::log(static_cast<double>(k)) <= static_cast<double>(n) / 4.0,
+             "Lemma 22 needs k <= e^{n/4}");
+  const double nn = static_cast<double>(n);
+  return 2.0 * nn * nn / std::log(static_cast<double>(k));
+}
+
+double cycle_k_cover_lower(std::uint64_t n, unsigned k) {
+  MW_REQUIRE(n >= 3, "cycle bounds need n >= 3");
+  MW_REQUIRE(k >= 1, "k must be >= 1");
+  // Lemma 21: C^k <= n^2/s implies k >= e^{s/16}/8, i.e. s <= 16 ln(8k).
+  // Contrapositive: C^k >= n^2 / (16 ln(8k)).
+  const double nn = static_cast<double>(n);
+  return nn * nn / (16.0 * std::log(8.0 * static_cast<double>(k)));
+}
+
+double grid_k_cover_lower(std::uint64_t n, unsigned d, unsigned k) {
+  MW_REQUIRE(d >= 2, "grid lower bound needs d >= 2");
+  const double side = std::pow(static_cast<double>(n), 1.0 / d);
+  // Projection onto one axis is a (lazy) walk on a cycle of length side;
+  // covering the grid requires covering that cycle (Thm 24 / Lemma 21).
+  return side * side / (16.0 * std::log(8.0 * static_cast<double>(k)));
+}
+
+double theorem9_speedup_reference(unsigned k, double mixing_time,
+                                  std::uint64_t n) {
+  MW_REQUIRE(k >= 1, "k must be >= 1");
+  MW_REQUIRE(mixing_time >= 1.0, "mixing time must be >= 1");
+  return static_cast<double>(k) /
+         (mixing_time * std::log(static_cast<double>(n)));
+}
+
+double theorem9_k_cover_reference(double mixing_time, std::uint64_t n,
+                                  unsigned k) {
+  MW_REQUIRE(k >= 1, "k must be >= 1");
+  const double nn = static_cast<double>(n);
+  return 6.0 * mixing_time * std::log(nn) *
+         (nn * harmonic_number(n) / static_cast<double>(k) + 1.0);
+}
+
+double binomial_centered_band_probability(std::uint64_t n, double c) {
+  MW_REQUIRE(n >= 1 && n <= 10'000'000, "n out of supported range");
+  MW_REQUIRE(c >= 1.0, "band needs c >= 1");
+  const double half = static_cast<double>(n) / 2.0;
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  // Integer k range for (c-1)√n <= k - n/2 <= c√n.
+  const auto lo = static_cast<std::int64_t>(std::ceil(half + (c - 1.0) * sqrt_n));
+  const auto hi = static_cast<std::int64_t>(std::floor(half + c * sqrt_n));
+  const double log2n = static_cast<double>(n) * std::log(2.0);
+  const double lgn = std::lgamma(static_cast<double>(n) + 1.0);
+  double acc = 0.0;
+  for (std::int64_t k = lo; k <= hi; ++k) {
+    if (k < 0 || k > static_cast<std::int64_t>(n)) continue;
+    const double kk = static_cast<double>(k);
+    const double log_pmf = lgn - std::lgamma(kk + 1.0) -
+                           std::lgamma(static_cast<double>(n) - kk + 1.0) -
+                           log2n;
+    acc += std::exp(log_pmf);
+  }
+  return acc;
+}
+
+double proposition23_lower(double c) {
+  MW_REQUIRE(c >= 2.0, "Proposition 23 requires c >= 2");
+  return std::exp(-3.0 * c * c - 4.0);
+}
+
+double proposition23_upper(double c) {
+  MW_REQUIRE(c >= 2.0, "Proposition 23 requires c >= 2");
+  return std::exp(-2.0 * (c - 1.0) * (c - 1.0));
+}
+
+Lemma19Bound lemma19_visit_bound(std::uint64_t n, double d, double lambda) {
+  MW_REQUIRE(n >= 2, "need n >= 2");
+  MW_REQUIRE(lambda > 0.0 && lambda < d, "need 0 < lambda < d");
+  Lemma19Bound bound;
+  bound.s = std::log(2.0 * static_cast<double>(n)) / std::log(d / lambda);
+  bound.b = lambda / (d - lambda);
+  bound.walk_length = 2.0 * bound.s;
+  bound.probability =
+      bound.s /
+      (2.0 * static_cast<double>(n) + 4.0 * bound.s +
+       4.0 * bound.b * static_cast<double>(n));
+  return bound;
+}
+
+}  // namespace manywalks

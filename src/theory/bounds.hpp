@@ -1,0 +1,102 @@
+// The paper's bounds as executable formulas: Matthews' theorem (Thm 1), the
+// Baby Matthews k-walk bound (Thm 13), the cover/hitting decomposition
+// (Thm 14), the gap g(n) (Thm 5), the cycle bounds (Lemmas 21/22), the grid
+// projection lower bound (Thm 24), and the mixing-time speed-up (Thm 9).
+#pragma once
+
+#include <cstdint>
+
+namespace manywalks {
+
+// --- Theorem 1 (Matthews) ------------------------------------------------
+
+/// Upper bound C(G) <= h_max · H_n.
+double matthews_upper_bound(double h_max, std::uint64_t n);
+
+/// Lower bound C(G) >= h_min · H_n (h_min over distinct ordered pairs).
+double matthews_lower_bound(double h_min, std::uint64_t n);
+
+// --- Theorem 13 (Baby Matthews) -------------------------------------------
+
+/// Asymptotic form of the k-walk bound: (e/k) · h_max · H_n.
+double baby_matthews_asymptotic(double h_max, std::uint64_t n, unsigned k);
+
+/// Rigorous finite-n version following the Thm 13 proof: with
+/// r = ceil((ln n + 2 ln ln n)/k), a k-walk of length e·r·h_max covers G
+/// with probability >= 1 - 1/ln^2 n, and restarting gives
+///   C^k <= (e·r·h_max + h_max·H_n / ln^2 n) / (1 - 1/ln^2 n).
+/// Valid for n >= 9 (so that ln^2 n > 1). This is an unconditional upper
+/// bound used by the inequality tests.
+double baby_matthews_bound(double h_max, std::uint64_t n, unsigned k);
+
+// --- Theorem 14 -----------------------------------------------------------
+
+/// Reference value C/k + (3 ln k + 2 f) · h_max; the paper's asymptotic
+/// decomposition with the o(1) dropped. `f` plays the role of f(n) ∈ ω(1)
+/// (Thm 5 instantiates f = ln g(n)).
+double theorem14_reference(double cover, double h_max, unsigned k, double f);
+
+// --- Theorem 5 (gap) --------------------------------------------------------
+
+/// The gap g(n) = C / h_max. Linear speed-up holds for k = O(g^{1-ε}).
+double cover_hitting_gap(double cover, double h_max);
+
+/// Largest k with guaranteed near-linear speed-up per Thm 5: g^{1-ε}.
+double theorem5_max_k(double gap, double epsilon);
+
+// --- Theorem 6 / Lemmas 21, 22 (cycle) --------------------------------------
+
+/// Lemma 22 upper bound: C^k(L_n) <= 2 n^2 / ln k (k large, k <= e^{n/4}).
+double cycle_k_cover_upper(std::uint64_t n, unsigned k);
+
+/// Lemma 21 contrapositive lower bound: C^k(L_n) >= n^2 / s(k) where
+/// s(k) = 16 ln(8k) is the smallest s with k >= e^{s/16}/8.
+double cycle_k_cover_lower(std::uint64_t n, unsigned k);
+
+// --- Theorem 24 (grid projection) -------------------------------------------
+
+/// Lower bound C^k(G_{n,d}) >= c · n^{2/d} / ln(8k); the projection onto one
+/// axis must cover a cycle of length n^{1/d}.
+double grid_k_cover_lower(std::uint64_t n, unsigned d, unsigned k);
+
+// --- Theorem 9 (mixing) ------------------------------------------------------
+
+/// Speed-up lower bound Ω(k / (t_m ln n)) — returned without the hidden
+/// constant (use for shape comparisons, not strict inequalities).
+double theorem9_speedup_reference(unsigned k, double mixing_time,
+                                  std::uint64_t n);
+
+/// The Thm 9 proof's k-walk cover bound O(t_m · n ln^2 n / k), constant
+/// taken as the proof's explicit 6·(1 + o(1)) factor on the clique bound:
+/// 6 t_m ln n · (n H_n / k + 1).
+double theorem9_k_cover_reference(double mixing_time, std::uint64_t n,
+                                  unsigned k);
+
+// --- Proposition 23 (binomial band probability) -----------------------------
+
+/// Exact Pr[(c-1)·sqrt(n) <= X - n/2 <= c·sqrt(n)] for X ~ Binomial(n, 1/2),
+/// evaluated by lgamma summation (supports n up to ~10^7).
+double binomial_centered_band_probability(std::uint64_t n, double c);
+
+/// Proposition 23's lower bound e^{-3c^2 - 4} on the band probability
+/// (valid for c >= 2 and even n >= 16 c^2).
+double proposition23_lower(double c);
+
+/// Proposition 23's upper bound e^{-2(c-1)^2} (Chernoff).
+double proposition23_upper(double c);
+
+// --- Lemma 19 (expander visit probability) -----------------------------------
+
+/// Lemma 19: on an (n, d, λ)-graph, a random walk of length 2s starting
+/// anywhere visits any fixed vertex with probability at least
+/// s / (2n + 4s + 4bn), where s = log(2n)/log(d/λ) and b = λ/(d-λ).
+struct Lemma19Bound {
+  double s = 0.0;            ///< sub-walk half-length
+  double b = 0.0;            ///< λ/(d-λ)
+  double walk_length = 0.0;  ///< 2s
+  double probability = 0.0;  ///< the visit-probability lower bound
+};
+
+Lemma19Bound lemma19_visit_bound(std::uint64_t n, double d, double lambda);
+
+}  // namespace manywalks

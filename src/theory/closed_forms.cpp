@@ -1,0 +1,128 @@
+#include "theory/closed_forms.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace manywalks {
+
+double harmonic_number(std::uint64_t n) {
+  if (n == 0) return 0.0;
+  if (n <= 10'000'000) {
+    // Sum smallest-first for accuracy.
+    double acc = 0.0;
+    for (std::uint64_t i = n; i >= 1; --i) acc += 1.0 / static_cast<double>(i);
+    return acc;
+  }
+  // Euler–Maclaurin: H_n = ln n + γ + 1/(2n) - 1/(12n^2) + O(n^-4).
+  const double x = static_cast<double>(n);
+  return std::log(x) + kEulerGamma + 1.0 / (2.0 * x) - 1.0 / (12.0 * x * x);
+}
+
+double cycle_cover_time(std::uint64_t n) {
+  MW_REQUIRE(n >= 3, "cycle closed forms need n >= 3");
+  return static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+}
+
+double cycle_hitting_time(std::uint64_t n, std::uint64_t distance) {
+  MW_REQUIRE(n >= 3, "cycle closed forms need n >= 3");
+  MW_REQUIRE(distance <= n / 2, "ring distance is at most n/2");
+  return static_cast<double>(distance) * static_cast<double>(n - distance);
+}
+
+double cycle_max_hitting_time(std::uint64_t n) {
+  return cycle_hitting_time(n, n / 2);
+}
+
+double path_cover_time(std::uint64_t n) {
+  MW_REQUIRE(n >= 2, "path closed forms need n >= 2");
+  const double m = static_cast<double>(n - 1);
+  return m * m;
+}
+
+double path_hitting_time(std::uint64_t n, std::uint64_t i, std::uint64_t j) {
+  MW_REQUIRE(n >= 2, "path closed forms need n >= 2");
+  MW_REQUIRE(i < n && j < n, "path hitting endpoints out of range");
+  // By the gambler's-ruin/reflection solution, for i < j the walk on
+  // 0..n-1 restricted to 0..j gives h(i, j) = j^2 - i^2; the mirrored case
+  // is symmetric.
+  const double a = static_cast<double>(i);
+  const double b = static_cast<double>(j);
+  if (i <= j) return b * b - a * a;
+  const double ra = static_cast<double>(n - 1 - i);
+  const double rb = static_cast<double>(n - 1 - j);
+  return rb * rb - ra * ra;
+}
+
+double complete_cover_time(std::uint64_t n) {
+  MW_REQUIRE(n >= 2, "complete closed forms need n >= 2");
+  return static_cast<double>(n - 1) * harmonic_number(n - 1);
+}
+
+double complete_with_loops_cover_time(std::uint64_t n) {
+  MW_REQUIRE(n >= 2, "complete closed forms need n >= 2");
+  return static_cast<double>(n) * harmonic_number(n - 1);
+}
+
+double complete_hitting_time(std::uint64_t n) {
+  MW_REQUIRE(n >= 2, "complete closed forms need n >= 2");
+  return static_cast<double>(n - 1);
+}
+
+double complete_with_loops_k_cover_time(std::uint64_t n, unsigned k) {
+  MW_REQUIRE(k >= 1, "k must be >= 1");
+  return complete_with_loops_cover_time(n) / static_cast<double>(k);
+}
+
+double star_cover_time(std::uint64_t n) {
+  MW_REQUIRE(n >= 3, "star closed forms need n >= 3");
+  return 2.0 * static_cast<double>(n - 1) * harmonic_number(n - 1) - 1.0;
+}
+
+double star_max_hitting_time(std::uint64_t n) {
+  MW_REQUIRE(n >= 3, "star closed forms need n >= 3");
+  return 2.0 * static_cast<double>(n) - 2.0;
+}
+
+double torus2d_cover_time_asymptotic(std::uint64_t n) {
+  MW_REQUIRE(n >= 4, "torus closed forms need n >= 4");
+  const double x = static_cast<double>(n);
+  const double ln = std::log(x);
+  return x * ln * ln / 3.14159265358979323846;
+}
+
+double torus2d_max_hitting_asymptotic(std::uint64_t n) {
+  const double x = static_cast<double>(n);
+  return 2.0 / 3.14159265358979323846 * x * std::log(x);
+}
+
+double torusd_cover_time_asymptotic(std::uint64_t n, unsigned d) {
+  MW_REQUIRE(d >= 3, "use torus2d_cover_time_asymptotic for d = 2");
+  // C ~ c_d n ln n where c_d -> 1 as d grows (escape probability -> 1);
+  // for d = 3 the constant is about 1.52 (Green's function G_3(0) ≈ 1.516).
+  const double g_d = d == 3 ? 1.516 : (d == 4 ? 1.239 : 1.0 + 1.0 / (2.0 * d));
+  const double x = static_cast<double>(n);
+  return g_d * x * std::log(x);
+}
+
+double hypercube_cover_time_asymptotic(std::uint64_t n) {
+  const double x = static_cast<double>(n);
+  return x * std::log(x);
+}
+
+double nlogn_cover_time(std::uint64_t n) {
+  const double x = static_cast<double>(n);
+  return x * std::log(x);
+}
+
+double barbell_cover_time_order(std::uint64_t n) {
+  const double x = static_cast<double>(n);
+  return x * x;
+}
+
+double lollipop_cover_time_order(std::uint64_t n) {
+  const double x = static_cast<double>(n);
+  return x * x * x;
+}
+
+}  // namespace manywalks

@@ -1,0 +1,94 @@
+// Closed-form cover/hitting times for the families where they are known
+// exactly, plus the asymptotic "theory profiles" the paper's Table 1 cites.
+// Exact values serve as test oracles; asymptotics as comparison columns in
+// the experiment tables.
+#pragma once
+
+#include <cstdint>
+
+namespace manywalks {
+
+/// n-th harmonic number H_n = 1 + 1/2 + ... + 1/n (H_0 = 0). Exact
+/// summation up to 10^7, Euler–Maclaurin beyond.
+double harmonic_number(std::uint64_t n);
+
+/// Euler–Mascheroni constant.
+inline constexpr double kEulerGamma = 0.5772156649015328606;
+
+// --- cycle L_n ---------------------------------------------------------
+
+/// Exact expected cover time of the n-cycle: n(n-1)/2 (start counted
+/// visited at t=0; any start by symmetry).
+double cycle_cover_time(std::uint64_t n);
+
+/// Exact hitting time between vertices at ring distance d on the n-cycle:
+/// d (n - d).
+double cycle_hitting_time(std::uint64_t n, std::uint64_t distance);
+
+/// Exact maximum hitting time on the n-cycle: floor(n/2)·ceil(n/2).
+double cycle_max_hitting_time(std::uint64_t n);
+
+// --- path P_n ----------------------------------------------------------
+
+/// Exact cover time of the n-path from an endpoint: (n-1)^2. (This is the
+/// BEST start — only one traversal is needed; the worst start is the
+/// center, which must reach both ends.)
+double path_cover_time(std::uint64_t n);
+
+/// Exact hitting time from i to j on the path 0..n-1: |j^2 - i^2| shifted —
+/// specifically for i < j it equals j^2 - i^2, by the reflection argument.
+double path_hitting_time(std::uint64_t n, std::uint64_t i, std::uint64_t j);
+
+// --- complete graph K_n -------------------------------------------------
+
+/// Exact cover time of K_n (no self loops): (n-1) H_{n-1}.
+double complete_cover_time(std::uint64_t n);
+
+/// Exact cover time of K_n with one self loop per vertex: n H_{n-1}.
+double complete_with_loops_cover_time(std::uint64_t n);
+
+/// Exact hitting time on K_n (no loops): n - 1 for u != v.
+double complete_hitting_time(std::uint64_t n);
+
+/// k-walk cover time of K_n with self loops, k tokens from one vertex, by
+/// the coupon-collector round-robin argument of Lemma 12 ("fair mom"):
+/// each round contributes k independent uniform coupon draws, so
+/// C^k = (n H_{n-1}) / k up to less than one round. This function returns
+/// (n H_{n-1}) / k; the true value lies within [value - 1, value + 1].
+double complete_with_loops_k_cover_time(std::uint64_t n, unsigned k);
+
+// --- star S_n -----------------------------------------------------------
+
+/// Exact worst-start (= hub) cover time of the n-star: 2(n-1)H_{n-1} - 1.
+double star_cover_time(std::uint64_t n);
+
+/// Exact max hitting time on the n-star: 2n - 2 (leaf to leaf).
+double star_max_hitting_time(std::uint64_t n);
+
+// --- asymptotic profiles (Table 1 columns) ------------------------------
+
+/// Asymptotic cover time of the 2-D torus on n vertices:
+/// (1/π) n ln^2 n (1 + o(1)) [Dembo–Peres–Rosen–Zeitouni].
+double torus2d_cover_time_asymptotic(std::uint64_t n);
+
+/// Asymptotic max hitting time of the 2-D torus: ~ (2/π) n ln n.
+double torus2d_max_hitting_asymptotic(std::uint64_t n);
+
+/// Asymptotic cover time of the d-D torus, d >= 3: c_d n ln n with
+/// c_d ~ expected excursions constant; we use the leading constant
+/// c_d = R_d where R_d is the escape-probability constant — order-level.
+double torusd_cover_time_asymptotic(std::uint64_t n, unsigned d);
+
+/// Asymptotic cover time of the hypercube on n = 2^d vertices: n ln n.
+double hypercube_cover_time_asymptotic(std::uint64_t n);
+
+/// Asymptotic cover time of a clique/expander-like graph: Θ(n ln n).
+double nlogn_cover_time(std::uint64_t n);
+
+/// Barbell B_n order: Θ(n^2) (constant unknown; order-level only).
+double barbell_cover_time_order(std::uint64_t n);
+
+/// Lollipop order: Θ(n^3) (the worst case over all graphs, up to const).
+double lollipop_cover_time_order(std::uint64_t n);
+
+}  // namespace manywalks

@@ -1,0 +1,44 @@
+// Lightweight precondition / invariant checking.
+//
+// Library entry points validate their arguments with MW_REQUIRE (always on,
+// throws std::invalid_argument) so misuse fails loudly; internal invariants
+// use MW_ASSERT which compiles to nothing in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace manywalks::detail {
+
+[[noreturn]] inline void throw_requirement_failure(const char* expr,
+                                                   const char* file, int line,
+                                                   const std::string& message) {
+  std::ostringstream os;
+  os << "requirement violated: " << expr;
+  if (!message.empty()) os << " — " << message;
+  os << " [" << file << ':' << line << ']';
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace manywalks::detail
+
+/// Argument/precondition check that is always active. `msg` is any
+/// expression streamable into std::ostringstream.
+#define MW_REQUIRE(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream mw_require_os_;                                   \
+      mw_require_os_ << msg;                                               \
+      ::manywalks::detail::throw_requirement_failure(#cond, __FILE__,      \
+                                                     __LINE__,             \
+                                                     mw_require_os_.str()); \
+    }                                                                      \
+  } while (false)
+
+/// Internal invariant; active only in debug builds.
+#ifndef NDEBUG
+#define MW_ASSERT(cond) MW_REQUIRE(cond, "internal invariant")
+#else
+#define MW_ASSERT(cond) ((void)0)
+#endif

@@ -1,0 +1,153 @@
+#include "util/options.hpp"
+
+#include <charconv>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace manywalks {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+std::string ArgParser::default_repr(const Target& target) {
+  return std::visit(
+      [](auto* ptr) -> std::string {
+        using T = std::remove_pointer_t<decltype(ptr)>;
+        if constexpr (std::is_same_v<T, bool>) {
+          return *ptr ? "true" : "false";
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          return *ptr;
+        } else {
+          std::ostringstream os;
+          os << *ptr;
+          return os.str();
+        }
+      },
+      target);
+}
+
+ArgParser& ArgParser::add_flag(std::string name, bool* target, std::string help) {
+  MW_REQUIRE(target != nullptr, "null flag target");
+  MW_REQUIRE(find(name) == nullptr, "duplicate option --" << name);
+  specs_.push_back({std::move(name), target, std::move(help), default_repr(target)});
+  return *this;
+}
+
+namespace {
+template <typename T>
+bool parse_number(const std::string& text, T* out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  if constexpr (std::is_floating_point_v<T>) {
+    // std::from_chars for double is available in GCC 12.
+    auto [ptr, ec] = std::from_chars(begin, end, *out);
+    return ec == std::errc{} && ptr == end;
+  } else {
+    auto [ptr, ec] = std::from_chars(begin, end, *out);
+    return ec == std::errc{} && ptr == end;
+  }
+}
+}  // namespace
+
+#define MANYWALKS_DEFINE_ADD_OPTION(TYPE)                                      \
+  ArgParser& ArgParser::add_option(std::string name, TYPE* target,             \
+                                   std::string help) {                         \
+    MW_REQUIRE(target != nullptr, "null option target");                       \
+    MW_REQUIRE(find(name) == nullptr, "duplicate option --" << name);          \
+    specs_.push_back(                                                          \
+        {std::move(name), target, std::move(help), default_repr(target)});     \
+    return *this;                                                              \
+  }
+
+MANYWALKS_DEFINE_ADD_OPTION(std::int64_t)
+MANYWALKS_DEFINE_ADD_OPTION(std::uint64_t)
+MANYWALKS_DEFINE_ADD_OPTION(unsigned)
+MANYWALKS_DEFINE_ADD_OPTION(double)
+MANYWALKS_DEFINE_ADD_OPTION(std::string)
+#undef MANYWALKS_DEFINE_ADD_OPTION
+
+const ArgParser::Spec* ArgParser::find(const std::string& name) const {
+  for (const Spec& spec : specs_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const Spec& spec : specs_) {
+    os << "  --" << spec.name;
+    if (!std::holds_alternative<bool*>(spec.target)) os << " <value>";
+    os << "\n      " << spec.help << " (default: " << spec.default_repr << ")\n";
+  }
+  os << "  --help\n      Show this message.\n";
+  return os.str();
+}
+
+bool ArgParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << program_ << ": unexpected positional argument '" << arg
+                << "'\n"
+                << usage();
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const Spec* spec = find(name);
+    if (spec == nullptr) {
+      std::cerr << program_ << ": unknown option --" << name << "\n" << usage();
+      return false;
+    }
+    if (std::holds_alternative<bool*>(spec->target)) {
+      if (has_value) {
+        std::cerr << program_ << ": flag --" << name << " takes no value\n";
+        return false;
+      }
+      *std::get<bool*>(spec->target) = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::cerr << program_ << ": option --" << name << " needs a value\n";
+        return false;
+      }
+      value = argv[++i];
+    }
+    const bool ok = std::visit(
+        [&value](auto* ptr) -> bool {
+          using T = std::remove_pointer_t<decltype(ptr)>;
+          if constexpr (std::is_same_v<T, bool>) {
+            return false;  // handled above
+          } else if constexpr (std::is_same_v<T, std::string>) {
+            *ptr = value;
+            return true;
+          } else {
+            return parse_number(value, ptr);
+          }
+        },
+        spec->target);
+    if (!ok) {
+      std::cerr << program_ << ": bad value '" << value << "' for --" << name
+                << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace manywalks

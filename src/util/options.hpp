@@ -1,0 +1,53 @@
+// Minimal command-line option parsing for the bench/example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag`. Unknown
+// options are an error; `--help` prints usage and reports "do not run".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace manywalks {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Registers a boolean flag (presence sets *target = true).
+  ArgParser& add_flag(std::string name, bool* target, std::string help);
+
+  /// Registers typed options; *target keeps its prior value as the default
+  /// shown in --help.
+  ArgParser& add_option(std::string name, std::int64_t* target, std::string help);
+  ArgParser& add_option(std::string name, std::uint64_t* target, std::string help);
+  ArgParser& add_option(std::string name, unsigned* target, std::string help);
+  ArgParser& add_option(std::string name, double* target, std::string help);
+  ArgParser& add_option(std::string name, std::string* target, std::string help);
+
+  /// Parses argv. Returns true if the program should proceed; false if
+  /// --help was requested or a parse error occurred (message on stderr).
+  bool parse(int argc, char** argv);
+
+  std::string usage() const;
+
+ private:
+  using Target = std::variant<bool*, std::int64_t*, std::uint64_t*, unsigned*,
+                              double*, std::string*>;
+  struct Spec {
+    std::string name;  // without leading dashes
+    Target target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  const Spec* find(const std::string& name) const;
+  static std::string default_repr(const Target& target);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Spec> specs_;
+};
+
+}  // namespace manywalks

@@ -1,0 +1,196 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace manywalks {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::std_error() const noexcept {
+  if (count_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double ConfidenceInterval::relative_half_width() const noexcept {
+  if (mean == 0.0) {
+    return half_width == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return half_width / std::abs(mean);
+}
+
+double normal_quantile(double p) {
+  MW_REQUIRE(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got " << p);
+  // Acklam's piecewise rational approximation to the inverse normal CDF.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+  double x = 0.0;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  return x;
+}
+
+double student_t_quantile(double p, std::uint64_t dof) {
+  MW_REQUIRE(p > 0.0 && p < 1.0, "student_t_quantile requires p in (0,1)");
+  MW_REQUIRE(dof >= 1, "student_t_quantile requires dof >= 1");
+  if (dof == 1) {
+    // Cauchy quantile.
+    return std::tan(3.14159265358979323846 * (p - 0.5));
+  }
+  if (dof == 2) {
+    const double a = 2.0 * p - 1.0;
+    return a * std::sqrt(2.0 / (1.0 - a * a));
+  }
+  // Cornish–Fisher style expansion (Abramowitz & Stegun 26.7.5).
+  const double z = normal_quantile(p);
+  const double v = static_cast<double>(dof);
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  const double z7 = z5 * z * z;
+  const double z9 = z7 * z * z;
+  double t = z;
+  t += (z3 + z) / (4.0 * v);
+  t += (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * v * v);
+  t += (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / (384.0 * v * v * v);
+  t += (79.0 * z9 + 776.0 * z7 + 1482.0 * z5 - 1920.0 * z3 - 945.0 * z) /
+       (92160.0 * v * v * v * v);
+  return t;
+}
+
+ConfidenceInterval mean_confidence_interval(const RunningStats& stats,
+                                            double confidence) {
+  MW_REQUIRE(confidence > 0.0 && confidence < 1.0,
+             "confidence must be in (0,1)");
+  ConfidenceInterval ci;
+  ci.mean = stats.mean();
+  ci.confidence = confidence;
+  ci.count = stats.count();
+  if (stats.count() < 2) {
+    ci.half_width = std::numeric_limits<double>::infinity();
+    if (stats.count() == 0) ci.half_width = 0.0;
+    return ci;
+  }
+  const double p = 0.5 + confidence / 2.0;
+  const std::uint64_t dof = stats.count() - 1;
+  const double q = dof >= 200 ? normal_quantile(p) : student_t_quantile(p, dof);
+  ci.half_width = q * stats.std_error();
+  return ci;
+}
+
+double quantile_sorted(std::span<const double> sorted, double p) {
+  MW_REQUIRE(!sorted.empty(), "quantile of empty sample");
+  MW_REQUIRE(p >= 0.0 && p <= 1.0, "quantile probability must be in [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double h = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+std::vector<double> quantiles(std::vector<double> sample,
+                              std::span<const double> probs) {
+  std::sort(sample.begin(), sample.end());
+  std::vector<double> out;
+  out.reserve(probs.size());
+  for (double p : probs) out.push_back(quantile_sorted(sample, p));
+  return out;
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  MW_REQUIRE(x.size() == y.size(), "linear_fit needs matching sizes");
+  MW_REQUIRE(x.size() >= 2, "linear_fit needs at least two points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  MW_REQUIRE(sxx > 0.0, "linear_fit needs non-constant x");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy == 0.0) {
+    fit.r_squared = 1.0;  // constant y fitted exactly by slope ~ 0
+  } else {
+    fit.r_squared = (sxy * sxy) / (sxx * syy);
+  }
+  return fit;
+}
+
+}  // namespace manywalks

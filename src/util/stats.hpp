@@ -1,0 +1,87 @@
+// Streaming statistics and confidence intervals for Monte-Carlo estimates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace manywalks {
+
+/// Numerically stable streaming mean/variance (Welford), mergeable so that
+/// per-thread partial aggregates can be combined deterministically.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator into this one (Chan's parallel update).
+  void merge(const RunningStats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean; 0 when fewer than two observations.
+  double std_error() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+  bool empty() const noexcept { return count_ == 0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A symmetric confidence interval for a mean.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  double confidence = 0.95;
+  std::uint64_t count = 0;
+
+  double lo() const noexcept { return mean - half_width; }
+  double hi() const noexcept { return mean + half_width; }
+  /// half_width / |mean|; infinity for mean == 0 with positive half width.
+  double relative_half_width() const noexcept;
+};
+
+/// Quantile of the standard normal distribution (Acklam's rational
+/// approximation; |error| < 1.2e-9). Requires 0 < p < 1.
+double normal_quantile(double p);
+
+/// Quantile of Student's t distribution with `dof` degrees of freedom.
+/// Exact for dof in {1, 2}; Cornish–Fisher expansion otherwise (accurate to
+/// ~1e-3 for dof >= 3, converging to the normal quantile for large dof).
+double student_t_quantile(double p, std::uint64_t dof);
+
+/// Two-sided CI for the mean using Student's t (normal for count >= 200).
+ConfidenceInterval mean_confidence_interval(const RunningStats& stats,
+                                            double confidence = 0.95);
+
+/// Empirical quantile with linear interpolation (type-7, as in R/NumPy).
+/// `sorted` must be ascending and non-empty; `p` in [0, 1].
+double quantile_sorted(std::span<const double> sorted, double p);
+
+/// Convenience: copies, sorts, and evaluates several quantiles at once.
+std::vector<double> quantiles(std::vector<double> sample,
+                              std::span<const double> probs);
+
+/// Ordinary least squares y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1] (1 when x has no variance and
+  /// y is constant; 0 when y has variance but the fit explains none).
+  double r_squared = 0.0;
+};
+
+/// Fits a least-squares line through (x[i], y[i]); needs >= 2 points and
+/// non-constant x.
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace manywalks

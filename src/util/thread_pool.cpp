@@ -1,0 +1,122 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "util/check.hpp"
+
+namespace manywalks {
+
+unsigned default_thread_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  const unsigned n = num_threads == 0 ? default_thread_count() : num_threads;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MW_REQUIRE(task != nullptr, "null task submitted to ThreadPool");
+  {
+    std::lock_guard lock(mutex_);
+    MW_REQUIRE(!shutting_down_, "submit after ThreadPool shutdown");
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+                  const std::function<void(std::uint64_t)>& body,
+                  std::uint64_t grain) {
+  MW_REQUIRE(grain >= 1, "parallel_for grain must be >= 1");
+  if (begin >= end) return;
+
+  // Shared cursor: workers grab [next, next+grain) slices until exhausted.
+  auto next = std::make_shared<std::atomic<std::uint64_t>>(begin);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error = std::make_shared<std::exception_ptr>();
+  auto error_mutex = std::make_shared<std::mutex>();
+
+  auto drain = [next, end, grain, &body, first_error, error, error_mutex] {
+    for (;;) {
+      const std::uint64_t lo = next->fetch_add(grain);
+      if (lo >= end) return;
+      const std::uint64_t hi = std::min(end, lo + grain);
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        if (first_error->load(std::memory_order_relaxed)) return;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard lock(*error_mutex);
+          if (!first_error->exchange(true)) *error = std::current_exception();
+          return;
+        }
+      }
+    }
+  };
+
+  // The calling thread participates too, so a pool of size 1 still makes
+  // progress even if all workers are busy with unrelated tasks.
+  const unsigned helpers = pool.size();
+  std::atomic<unsigned> done{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  for (unsigned t = 0; t < helpers; ++t) {
+    pool.submit([&, drain] {
+      drain();
+      {
+        std::lock_guard lock(done_mutex);
+        ++done;
+      }
+      done_cv.notify_one();
+    });
+  }
+  drain();
+  {
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(lock, [&] { return done.load() == helpers; });
+  }
+  if (first_error->load()) std::rethrow_exception(*error);
+}
+
+}  // namespace manywalks

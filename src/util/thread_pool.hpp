@@ -1,0 +1,59 @@
+// A small fixed-size thread pool plus a blocking parallel_for.
+//
+// The Monte-Carlo harness schedules independent trials; determinism is
+// achieved at a higher level (per-trial seeding + index-ordered reduction),
+// so the pool itself can hand out work dynamically for load balance.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace manywalks {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::uint64_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs `body(i)` for every i in [begin, end) across the pool, blocking the
+/// caller until all iterations finish. Work is pulled dynamically in chunks
+/// of `grain` for load balance; exceptions from the body propagate to the
+/// caller (the first one observed).
+void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+                  const std::function<void(std::uint64_t)>& body,
+                  std::uint64_t grain = 1);
+
+/// Number of worker threads to use by default (hardware concurrency,
+/// clamped to at least 1).
+unsigned default_thread_count() noexcept;
+
+}  // namespace manywalks

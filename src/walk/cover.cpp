@@ -1,0 +1,144 @@
+#include "walk/cover.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "walk/walker.hpp"
+
+namespace manywalks {
+
+namespace {
+
+/// Shared k-walk loop: advances all tokens round by round until `target`
+/// distinct vertices are visited or the cap is reached.
+CoverSample run_until_visited(const Graph& g, std::span<const Vertex> starts,
+                              Vertex target, Rng& rng,
+                              const CoverOptions& options) {
+  require_walkable(g);
+  MW_REQUIRE(!starts.empty(), "k-walk needs at least one token");
+  MW_REQUIRE(options.laziness >= 0.0 && options.laziness < 1.0,
+             "laziness must be in [0,1)");
+
+  thread_local VisitTracker tracker(0);
+  if (tracker.num_vertices() != g.num_vertices()) {
+    tracker = VisitTracker(g.num_vertices());
+  } else {
+    tracker.reset();
+  }
+
+  std::vector<Vertex> tokens(starts.begin(), starts.end());
+  for (Vertex s : tokens) {
+    MW_REQUIRE(s < g.num_vertices(), "start vertex out of range");
+    tracker.visit(s);
+  }
+  CoverSample sample;
+  if (tracker.num_visited() >= target) {
+    sample.covered = true;
+    return sample;
+  }
+
+  const bool lazy = options.laziness > 0.0;
+  std::uint64_t t = 0;
+  while (t < options.step_cap) {
+    ++t;
+    for (Vertex& token : tokens) {
+      token = lazy ? step_walk_lazy(g, token, rng, options.laziness)
+                   : step_walk(g, token, rng);
+      tracker.visit(token);
+    }
+    if (tracker.num_visited() >= target) {
+      sample.steps = t;
+      sample.covered = true;
+      return sample;
+    }
+  }
+  sample.steps = options.step_cap;
+  sample.covered = false;
+  return sample;
+}
+
+}  // namespace
+
+CoverSample sample_cover_time(const Graph& g, Vertex start, Rng& rng,
+                              const CoverOptions& options) {
+  const Vertex starts[1] = {start};
+  return run_until_visited(g, starts, g.num_vertices(), rng, options);
+}
+
+CoverSample sample_multi_cover_time(const Graph& g,
+                                    std::span<const Vertex> starts, Rng& rng,
+                                    const CoverOptions& options) {
+  return run_until_visited(g, starts, g.num_vertices(), rng, options);
+}
+
+CoverSample sample_k_cover_time(const Graph& g, Vertex start, unsigned k,
+                                Rng& rng, const CoverOptions& options) {
+  MW_REQUIRE(k >= 1, "k must be >= 1");
+  std::vector<Vertex> starts(k, start);
+  return run_until_visited(g, starts, g.num_vertices(), rng, options);
+}
+
+CoverSample sample_partial_cover_time(const Graph& g,
+                                      std::span<const Vertex> starts,
+                                      double fraction, Rng& rng,
+                                      const CoverOptions& options) {
+  MW_REQUIRE(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+  const auto target = static_cast<Vertex>(
+      std::ceil(fraction * static_cast<double>(g.num_vertices())));
+  return run_until_visited(g, starts, std::max<Vertex>(target, 1), rng,
+                           options);
+}
+
+CoverageCurve sample_coverage_curve(const Graph& g,
+                                    std::span<const Vertex> starts,
+                                    std::uint64_t total_steps,
+                                    std::uint64_t record_every, Rng& rng,
+                                    const CoverOptions& options) {
+  require_walkable(g);
+  MW_REQUIRE(!starts.empty(), "k-walk needs at least one token");
+  MW_REQUIRE(record_every >= 1, "record_every must be >= 1");
+
+  VisitTracker tracker(g.num_vertices());
+  std::vector<Vertex> tokens(starts.begin(), starts.end());
+  for (Vertex s : tokens) {
+    MW_REQUIRE(s < g.num_vertices(), "start vertex out of range");
+    tracker.visit(s);
+  }
+
+  CoverageCurve curve;
+  curve.times.push_back(0);
+  curve.visited.push_back(tracker.num_visited());
+  const bool lazy = options.laziness > 0.0;
+  for (std::uint64_t t = 1; t <= total_steps; ++t) {
+    for (Vertex& token : tokens) {
+      token = lazy ? step_walk_lazy(g, token, rng, options.laziness)
+                   : step_walk(g, token, rng);
+      tracker.visit(token);
+    }
+    if (t % record_every == 0 || t == total_steps) {
+      curve.times.push_back(t);
+      curve.visited.push_back(tracker.num_visited());
+    }
+  }
+  return curve;
+}
+
+std::vector<std::uint64_t> sample_visit_counts(const Graph& g, Vertex start,
+                                               std::uint64_t num_steps,
+                                               Rng& rng,
+                                               const CoverOptions& options) {
+  require_walkable(g);
+  MW_REQUIRE(start < g.num_vertices(), "start vertex out of range");
+  std::vector<std::uint64_t> counts(g.num_vertices(), 0);
+  Vertex v = start;
+  counts[v] = 1;
+  const bool lazy = options.laziness > 0.0;
+  for (std::uint64_t t = 0; t < num_steps; ++t) {
+    v = lazy ? step_walk_lazy(g, v, rng, options.laziness)
+             : step_walk(g, v, rng);
+    ++counts[v];
+  }
+  return counts;
+}
+
+}  // namespace manywalks

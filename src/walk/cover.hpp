@@ -1,0 +1,79 @@
+// Cover-time sampling for single walks and k-walks (the paper's central
+// random variables τ_i and τ^k_i).
+//
+// Timing convention: the starting vertices count as visited at t = 0, and
+// in each round every token takes one step. The sampled value is the first
+// round index t at which all vertices have been visited. (The paper's
+// formal definition starts the visited set at X(1); the difference is a
+// lower-order term and the conventional definition matches the closed forms
+// we test against, e.g. C(cycle) = n(n-1)/2.)
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "walk/visit_tracker.hpp"
+
+namespace manywalks {
+
+struct CoverOptions {
+  /// Probability of a token staying put each step (0 = simple walk).
+  double laziness = 0.0;
+  /// Safety cap on rounds; a sample that reaches the cap reports
+  /// covered=false with steps=step_cap.
+  std::uint64_t step_cap = std::numeric_limits<std::uint64_t>::max();
+};
+
+struct CoverSample {
+  std::uint64_t steps = 0;  ///< rounds until coverage (or the cap)
+  bool covered = false;     ///< false iff the cap was hit first
+};
+
+/// One cover-time sample of a single walk from `start`.
+CoverSample sample_cover_time(const Graph& g, Vertex start, Rng& rng,
+                              const CoverOptions& options = {});
+
+/// One cover-time sample of a k-walk with explicit starting vertices (the
+/// paper's walks all start at the same vertex, but Lemma 16 and the
+/// stationary-start discussion need arbitrary starts).
+CoverSample sample_multi_cover_time(const Graph& g,
+                                    std::span<const Vertex> starts, Rng& rng,
+                                    const CoverOptions& options = {});
+
+/// One cover-time sample of k walks all starting at `start` (τ^k_start).
+CoverSample sample_k_cover_time(const Graph& g, Vertex start, unsigned k,
+                                Rng& rng, const CoverOptions& options = {});
+
+/// Rounds until at least ceil(fraction * n) distinct vertices are visited.
+CoverSample sample_partial_cover_time(const Graph& g,
+                                      std::span<const Vertex> starts,
+                                      double fraction, Rng& rng,
+                                      const CoverOptions& options = {});
+
+/// Number of distinct vertices visited after each recorded time step; used
+/// for coverage-vs-time plots.
+struct CoverageCurve {
+  std::vector<std::uint64_t> times;
+  std::vector<Vertex> visited;
+};
+
+/// Runs a k-walk for `total_steps` rounds recording coverage every
+/// `record_every` rounds (and at t=0 and the final round).
+CoverageCurve sample_coverage_curve(const Graph& g,
+                                    std::span<const Vertex> starts,
+                                    std::uint64_t total_steps,
+                                    std::uint64_t record_every, Rng& rng,
+                                    const CoverOptions& options = {});
+
+/// Per-vertex visit counts of a single walk over `num_steps` steps
+/// (including the start's t=0 occupancy).
+std::vector<std::uint64_t> sample_visit_counts(const Graph& g, Vertex start,
+                                               std::uint64_t num_steps,
+                                               Rng& rng,
+                                               const CoverOptions& options = {});
+
+}  // namespace manywalks

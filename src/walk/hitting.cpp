@@ -1,0 +1,136 @@
+#include "walk/hitting.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "walk/walker.hpp"
+
+namespace manywalks {
+
+HitSample sample_hitting_time(const Graph& g, Vertex from, Vertex to,
+                              Rng& rng, const HitOptions& options) {
+  require_walkable(g);
+  MW_REQUIRE(from < g.num_vertices() && to < g.num_vertices(),
+             "hitting endpoints out of range");
+  HitSample sample;
+  if (from == to) {
+    sample.hit = true;
+    return sample;
+  }
+  Vertex v = from;
+  const bool lazy = options.laziness > 0.0;
+  std::uint64_t t = 0;
+  while (t < options.step_cap) {
+    ++t;
+    v = lazy ? step_walk_lazy(g, v, rng, options.laziness)
+             : step_walk(g, v, rng);
+    if (v == to) {
+      sample.steps = t;
+      sample.hit = true;
+      return sample;
+    }
+  }
+  sample.steps = options.step_cap;
+  sample.hit = false;
+  return sample;
+}
+
+HitSample sample_multi_hitting_time(const Graph& g,
+                                    std::span<const Vertex> starts,
+                                    Vertex target, Rng& rng,
+                                    const HitOptions& options) {
+  require_walkable(g);
+  MW_REQUIRE(!starts.empty(), "k-walk needs at least one token");
+  MW_REQUIRE(target < g.num_vertices(), "target out of range");
+  HitSample sample;
+  std::vector<Vertex> tokens(starts.begin(), starts.end());
+  for (Vertex s : tokens) {
+    MW_REQUIRE(s < g.num_vertices(), "start vertex out of range");
+    if (s == target) {
+      sample.hit = true;
+      return sample;
+    }
+  }
+  const bool lazy = options.laziness > 0.0;
+  std::uint64_t t = 0;
+  while (t < options.step_cap) {
+    ++t;
+    bool reached = false;
+    for (Vertex& token : tokens) {
+      token = lazy ? step_walk_lazy(g, token, rng, options.laziness)
+                   : step_walk(g, token, rng);
+      reached = reached || token == target;
+    }
+    if (reached) {
+      sample.steps = t;
+      sample.hit = true;
+      return sample;
+    }
+  }
+  sample.steps = options.step_cap;
+  sample.hit = false;
+  return sample;
+}
+
+HitSample sample_multi_hitting_to_set(const Graph& g,
+                                      std::span<const Vertex> starts,
+                                      const std::vector<bool>& in_target,
+                                      Rng& rng, const HitOptions& options) {
+  require_walkable(g);
+  MW_REQUIRE(!starts.empty(), "k-walk needs at least one token");
+  MW_REQUIRE(in_target.size() == g.num_vertices(),
+             "target mask size must equal vertex count");
+  HitSample sample;
+  std::vector<Vertex> tokens(starts.begin(), starts.end());
+  for (Vertex s : tokens) {
+    MW_REQUIRE(s < g.num_vertices(), "start vertex out of range");
+    if (in_target[s]) {
+      sample.hit = true;
+      return sample;
+    }
+  }
+  const bool lazy = options.laziness > 0.0;
+  std::uint64_t t = 0;
+  while (t < options.step_cap) {
+    ++t;
+    bool reached = false;
+    for (Vertex& token : tokens) {
+      token = lazy ? step_walk_lazy(g, token, rng, options.laziness)
+                   : step_walk(g, token, rng);
+      reached = reached || in_target[token];
+    }
+    if (reached) {
+      sample.steps = t;
+      sample.hit = true;
+      return sample;
+    }
+  }
+  sample.steps = options.step_cap;
+  sample.hit = false;
+  return sample;
+}
+
+HitSample sample_return_time(const Graph& g, Vertex from, Rng& rng,
+                             const HitOptions& options) {
+  require_walkable(g);
+  MW_REQUIRE(from < g.num_vertices(), "start vertex out of range");
+  HitSample sample;
+  Vertex v = from;
+  const bool lazy = options.laziness > 0.0;
+  std::uint64_t t = 0;
+  while (t < options.step_cap) {
+    ++t;
+    v = lazy ? step_walk_lazy(g, v, rng, options.laziness)
+             : step_walk(g, v, rng);
+    if (v == from) {
+      sample.steps = t;
+      sample.hit = true;
+      return sample;
+    }
+  }
+  sample.steps = options.step_cap;
+  sample.hit = false;
+  return sample;
+}
+
+}  // namespace manywalks

@@ -1,0 +1,53 @@
+#include "walk/sampling.hpp"
+
+#include <queue>
+
+namespace manywalks {
+
+std::vector<Vertex> spread_starts(const Graph& g, unsigned k,
+                                  Vertex seed_vertex) {
+  const Vertex n = g.num_vertices();
+  MW_REQUIRE(k >= 1, "k must be >= 1");
+  MW_REQUIRE(seed_vertex < n, "seed vertex out of range");
+
+  std::vector<Vertex> starts;
+  starts.reserve(k);
+  starts.push_back(seed_vertex);
+
+  // dist[v] = hop distance from v to the chosen set; maintained
+  // incrementally with a multi-source BFS restart per added center.
+  std::vector<std::uint32_t> dist = bfs_distances(g, seed_vertex);
+  for (unsigned i = 1; i < k; ++i) {
+    // Farthest vertex from the current set (ties: smallest id). If the
+    // graph is smaller than k, wrap around and reuse vertices.
+    Vertex best = starts[i % starts.size()];
+    std::uint32_t best_d = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      if (dist[v] != kUnreachable && dist[v] > best_d) {
+        best_d = dist[v];
+        best = v;
+      }
+    }
+    starts.push_back(best);
+    // Relax distances with the new center (BFS from `best`, keeping mins).
+    std::vector<Vertex> frontier{best};
+    std::vector<Vertex> next;
+    dist[best] = 0;
+    std::uint32_t depth = 0;
+    while (!frontier.empty()) {
+      ++depth;
+      next.clear();
+      for (Vertex v : frontier) {
+        for (Vertex u : g.neighbors(v)) {
+          if (dist[u] <= depth) continue;  // kUnreachable is the max value
+          dist[u] = depth;
+          next.push_back(u);
+        }
+      }
+      frontier.swap(next);
+    }
+  }
+  return starts;
+}
+
+}  // namespace manywalks

@@ -1,0 +1,32 @@
+// Single-token stepping primitives for the simple (optionally lazy) random
+// walk. Everything here is header-only: these are the innermost loops of all
+// experiments.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace manywalks {
+
+/// One step of the simple random walk: uniform over the adjacency arcs of v
+/// (so parallel edges weight their endpoint proportionally and a self loop
+/// is a 1/deg chance of staying).
+inline Vertex step_walk(const Graph& g, Vertex v, Rng& rng) {
+  return g.neighbor(v, rng.uniform_below(g.degree(v)));
+}
+
+/// Lazy variant: stays put with probability `laziness`, otherwise steps.
+inline Vertex step_walk_lazy(const Graph& g, Vertex v, Rng& rng,
+                             double laziness) {
+  if (laziness > 0.0 && rng.uniform01() < laziness) return v;
+  return step_walk(g, v, rng);
+}
+
+/// Validates that a walk can run from every vertex (no isolated vertices).
+inline void require_walkable(const Graph& g) {
+  MW_REQUIRE(g.num_vertices() >= 1, "walk on empty graph");
+  MW_REQUIRE(g.min_degree() >= 1, "graph has an isolated vertex");
+}
+
+}  // namespace manywalks

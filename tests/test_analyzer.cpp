@@ -1,0 +1,102 @@
+#include "core/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "theory/closed_forms.hpp"
+
+namespace manywalks {
+namespace {
+
+McOptions quick_mc(std::uint64_t trials, std::uint64_t seed = 21) {
+  McOptions mc;
+  mc.min_trials = trials;
+  mc.max_trials = trials;
+  mc.seed = seed;
+  return mc;
+}
+
+TEST(MeasureHmax, ExactBranchMatchesClosedForm) {
+  const Vertex n = 12;
+  const auto est = measure_h_max(make_cycle(n), quick_mc(16));
+  EXPECT_TRUE(est.exact);
+  EXPECT_NEAR(est.value, cycle_max_hitting_time(n), 1e-8);
+  EXPECT_EQ(est.half_width, 0.0);
+}
+
+TEST(MeasureHmax, SampledBranchApproximatesCycle) {
+  // Force sampling with exact_limit = 0; the double-sweep heuristic finds
+  // the antipodal pair on a cycle.
+  const Vertex n = 41;
+  const auto est = measure_h_max(make_cycle(n), quick_mc(600), 0);
+  EXPECT_FALSE(est.exact);
+  const double truth = cycle_max_hitting_time(n);
+  EXPECT_NEAR(est.value, truth, 0.25 * truth);
+}
+
+TEST(MeasureHmax, SampledBranchFindsLollipopTail) {
+  const auto est = measure_h_max(make_lollipop(18), quick_mc(300), 0);
+  // The hard target is the end of the stick (last vertex).
+  EXPECT_EQ(est.to, 17u);
+}
+
+TEST(MeasureMixing, CompleteWithLoopsIsOne) {
+  const auto m = measure_mixing_time(make_complete(12, true), false);
+  EXPECT_TRUE(m.converged);
+  EXPECT_EQ(m.time, 1u);
+  EXPECT_EQ(m.laziness, 0.0);
+}
+
+TEST(MeasureMixing, BipartiteAutomaticallyLazy) {
+  const auto m = measure_mixing_time(make_hypercube(4), false, 100000);
+  EXPECT_TRUE(m.converged);
+  EXPECT_EQ(m.laziness, 0.5);
+}
+
+TEST(MeasureMixing, ForceLazyOnOddCycle) {
+  const auto m = measure_mixing_time(make_cycle(9), true, 100000);
+  EXPECT_TRUE(m.converged);
+  EXPECT_EQ(m.laziness, 0.5);
+}
+
+TEST(MeasureMixing, CapReportsNotConverged) {
+  const auto m = measure_mixing_time(make_cycle(201), false, 50);
+  EXPECT_FALSE(m.converged);
+  EXPECT_EQ(m.time, 50u);
+}
+
+TEST(MeasureMixing, ExplicitSources) {
+  const std::vector<Vertex> sources = {0};
+  const auto m =
+      measure_mixing_time(make_cycle(9), false, 100000, sources);
+  EXPECT_TRUE(m.converged);
+}
+
+TEST(ProfileGraph, CycleProfileMatchesTheory) {
+  FamilyInstance inst = make_family_instance(GraphFamily::kCycle, 33);
+  ProfileOptions options;
+  options.mc = quick_mc(1200);
+  const auto profile = profile_graph(inst, options);
+  const double exact_cover = cycle_cover_time(inst.graph.num_vertices());
+  EXPECT_NEAR(profile.cover.ci.mean, exact_cover, 0.1 * exact_cover);
+  EXPECT_TRUE(profile.h_max.exact);
+  EXPECT_NEAR(profile.h_max.value,
+              cycle_max_hitting_time(inst.graph.num_vertices()), 1e-8);
+  EXPECT_TRUE(profile.mixing.converged);
+  // Gap C/h_max ≈ n(n-1)/2 / (n²/4) ≈ 2.
+  EXPECT_NEAR(profile.gap, 2.0, 0.4);
+}
+
+TEST(ProfileGraph, ExpanderHasLargeGap) {
+  FamilyInstance inst = make_family_instance(GraphFamily::kMargulis, 100);
+  ProfileOptions options;
+  options.mc = quick_mc(200);
+  const auto profile = profile_graph(inst, options);
+  // Expander: C ≈ Θ(n log n), h_max ≈ Θ(n) => gap ≈ Θ(log n) > 2.
+  EXPECT_GT(profile.gap, 2.0);
+  EXPECT_TRUE(profile.mixing.converged);
+  EXPECT_LT(profile.mixing.time, 60u);
+}
+
+}  // namespace
+}  // namespace manywalks

@@ -1,0 +1,136 @@
+#include "theory/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "theory/closed_forms.hpp"
+#include "theory/exact.hpp"
+
+namespace manywalks {
+namespace {
+
+TEST(Matthews, BoundValues) {
+  EXPECT_NEAR(matthews_upper_bound(10.0, 5), 10.0 * harmonic_number(4), 1e-12);
+  EXPECT_NEAR(matthews_lower_bound(2.0, 5), 2.0 * harmonic_number(4), 1e-12);
+}
+
+// Matthews' sandwich checked with exact cover and hitting times — the
+// strongest correctness cross-check between the exact solvers.
+class MatthewsSandwich : public ::testing::TestWithParam<Graph> {};
+
+TEST_P(MatthewsSandwich, HoldsExactly) {
+  const Graph& g = GetParam();
+  const Vertex n = g.num_vertices();
+  const auto ext = hitting_extremes(g);
+  double cover = 0.0;  // C(G) = max_i C_i
+  for (Vertex v = 0; v < n; ++v) {
+    cover = std::max(cover, exact_cover_time(g, v));
+  }
+  EXPECT_LE(cover, matthews_upper_bound(ext.h_max, n) + 1e-8);
+  EXPECT_GE(cover, matthews_lower_bound(ext.h_min, n) - 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallGraphs, MatthewsSandwich,
+    ::testing::Values(make_cycle(5), make_cycle(8), make_path(6), make_star(7),
+                      make_complete(6), make_complete(5, true),
+                      make_barbell(9), make_grid_2d(3, GridTopology::kOpen),
+                      make_hypercube(3), make_balanced_tree(2, 2),
+                      make_lollipop(8), make_complete_bipartite(3, 4)));
+
+TEST(Matthews, TightOnCompleteGraph) {
+  // C(K_n) = (n-1) H_{n-1} = h_max H_{n-1}: the bound is exactly attained.
+  const Vertex n = 9;
+  EXPECT_NEAR(complete_cover_time(n),
+              matthews_upper_bound(complete_hitting_time(n), n), 1e-9);
+}
+
+TEST(BabyMatthews, AsymptoticScalesAsOneOverK) {
+  const double b1 = baby_matthews_asymptotic(100.0, 1000, 1);
+  const double b4 = baby_matthews_asymptotic(100.0, 1000, 4);
+  EXPECT_NEAR(b1 / b4, 4.0, 1e-9);
+  EXPECT_NEAR(b1, std::exp(1.0) * 100.0 * harmonic_number(1000), 1e-9);
+}
+
+TEST(BabyMatthews, FiniteBoundDominatesAsymptoticShape) {
+  // The rigorous finite bound is weaker (larger) than the clean asymptotic
+  // form at moderate n.
+  for (unsigned k : {1u, 2u, 8u}) {
+    EXPECT_GT(baby_matthews_bound(50.0, 512, k),
+              0.5 * baby_matthews_asymptotic(50.0, 512, k));
+  }
+}
+
+TEST(BabyMatthews, AtKEqualLogNBoundIsOrderHmax) {
+  // With k = ln n the walk-length term is e * ceil(...) * h_max ≈ e·h_max
+  // up to the restart term.
+  const std::uint64_t n = 1024;
+  const auto k = static_cast<unsigned>(std::log(static_cast<double>(n)));
+  const double bound = baby_matthews_bound(1000.0, n, k);
+  EXPECT_LT(bound, 12'000.0);
+  EXPECT_GT(bound, 2'000.0);
+}
+
+TEST(BabyMatthews, RequiresMinimumSize) {
+  EXPECT_THROW(baby_matthews_bound(10.0, 4, 2), std::invalid_argument);
+}
+
+TEST(Theorem14, ReferenceDecomposition) {
+  // C/k dominates for small k; the h_max term grows with log k.
+  const double c = 1e6;
+  const double h = 1e3;
+  EXPECT_NEAR(theorem14_reference(c, h, 1, 1.0), c + 2.0 * h, 1e-9);
+  const double at4 = theorem14_reference(c, h, 4, 1.0);
+  EXPECT_NEAR(at4, c / 4 + (3 * std::log(4.0) + 2) * h, 1e-9);
+}
+
+TEST(Gap, ValuesAndTheorem5Cap) {
+  EXPECT_DOUBLE_EQ(cover_hitting_gap(1000.0, 100.0), 10.0);
+  EXPECT_NEAR(theorem5_max_k(100.0, 0.5), 10.0, 1e-9);
+  EXPECT_THROW(cover_hitting_gap(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(theorem5_max_k(10.0, 1.5), std::invalid_argument);
+}
+
+TEST(CycleBounds, UpperAboveLower) {
+  for (unsigned k : {2u, 4u, 16u, 256u}) {
+    EXPECT_GT(cycle_k_cover_upper(1000, k), cycle_k_cover_lower(1000, k));
+  }
+}
+
+TEST(CycleBounds, UpperScalesAsOneOverLogK) {
+  const double at2 = cycle_k_cover_upper(1000, 2);
+  const double at16 = cycle_k_cover_upper(1000, 16);
+  EXPECT_NEAR(at2 / at16, std::log(16.0) / std::log(2.0), 1e-9);
+}
+
+TEST(CycleBounds, LowerBoundSandwichesSingleWalkCover) {
+  // k = 1: C^1 = n(n-1)/2 must respect the Lemma 21 lower bound.
+  const std::uint64_t n = 500;
+  EXPECT_GE(cycle_cover_time(n), cycle_k_cover_lower(n, 1));
+}
+
+TEST(CycleBounds, Lemma22RejectsHugeK) {
+  EXPECT_THROW(cycle_k_cover_upper(10, 1u << 30), std::invalid_argument);
+}
+
+TEST(GridBounds, LowerBoundShrinksWithK) {
+  EXPECT_GT(grid_k_cover_lower(10000, 2, 2), grid_k_cover_lower(10000, 2, 64));
+}
+
+TEST(GridBounds, HigherDimensionLowersBound) {
+  EXPECT_GT(grid_k_cover_lower(1u << 12, 2, 4),
+            grid_k_cover_lower(1u << 12, 3, 4));
+}
+
+TEST(Theorem9, SpeedupReferenceShape) {
+  EXPECT_NEAR(theorem9_speedup_reference(10, 5.0, 1024),
+              10.0 / (5.0 * std::log(1024.0)), 1e-12);
+  // k-cover reference decreases in k.
+  EXPECT_GT(theorem9_k_cover_reference(5.0, 1024, 2),
+            theorem9_k_cover_reference(5.0, 1024, 64));
+}
+
+}  // namespace
+}  // namespace manywalks

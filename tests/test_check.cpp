@@ -1,0 +1,42 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace manywalks {
+namespace {
+
+TEST(Check, PassingConditionDoesNothing) {
+  MW_REQUIRE(1 + 1 == 2, "arithmetic works");
+  SUCCEED();
+}
+
+TEST(Check, FailingConditionThrowsInvalidArgument) {
+  EXPECT_THROW(MW_REQUIRE(false, "always fails"), std::invalid_argument);
+}
+
+TEST(Check, MessageContainsExpressionAndDetail) {
+  try {
+    const int x = 3;
+    MW_REQUIRE(x > 5, "x was " << x);
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("x > 5"), std::string::npos);
+    EXPECT_NE(what.find("x was 3"), std::string::npos);
+  }
+}
+
+TEST(Check, SideEffectsEvaluatedOnce) {
+  int calls = 0;
+  const auto count = [&calls] {
+    ++calls;
+    return true;
+  };
+  MW_REQUIRE(count(), "");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace manywalks

@@ -1,0 +1,90 @@
+#include "theory/closed_forms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace manywalks {
+namespace {
+
+TEST(Harmonic, SmallValues) {
+  EXPECT_DOUBLE_EQ(harmonic_number(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_number(1), 1.0);
+  EXPECT_NEAR(harmonic_number(2), 1.5, 1e-14);
+  EXPECT_NEAR(harmonic_number(4), 25.0 / 12.0, 1e-14);
+  EXPECT_NEAR(harmonic_number(10), 2.9289682539682538, 1e-12);
+}
+
+TEST(Harmonic, AsymptoticAgreesWithSummation) {
+  // H_n ~ ln n + gamma; check the two regimes agree at large n.
+  const double direct = harmonic_number(10'000'000);
+  const double asym = std::log(1e7) + kEulerGamma + 1.0 / (2e7);
+  EXPECT_NEAR(direct, asym, 1e-9);
+}
+
+TEST(Harmonic, Monotone) {
+  for (std::uint64_t n = 1; n < 100; ++n) {
+    EXPECT_GT(harmonic_number(n + 1), harmonic_number(n));
+  }
+}
+
+TEST(CycleForms, CoverTime) {
+  EXPECT_DOUBLE_EQ(cycle_cover_time(3), 3.0);
+  EXPECT_DOUBLE_EQ(cycle_cover_time(5), 10.0);
+  EXPECT_DOUBLE_EQ(cycle_cover_time(100), 4950.0);
+}
+
+TEST(CycleForms, HittingTime) {
+  EXPECT_DOUBLE_EQ(cycle_hitting_time(10, 1), 9.0);
+  EXPECT_DOUBLE_EQ(cycle_hitting_time(10, 5), 25.0);
+  EXPECT_DOUBLE_EQ(cycle_max_hitting_time(10), 25.0);
+  EXPECT_DOUBLE_EQ(cycle_max_hitting_time(9), 4.0 * 5.0);
+  EXPECT_THROW(cycle_hitting_time(10, 6), std::invalid_argument);
+}
+
+TEST(PathForms, CoverAndHitting) {
+  EXPECT_DOUBLE_EQ(path_cover_time(3), 4.0);
+  EXPECT_DOUBLE_EQ(path_cover_time(10), 81.0);
+  EXPECT_DOUBLE_EQ(path_hitting_time(5, 0, 4), 16.0);
+  EXPECT_DOUBLE_EQ(path_hitting_time(5, 1, 3), 8.0);
+  // Mirrored direction.
+  EXPECT_DOUBLE_EQ(path_hitting_time(3, 1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(path_hitting_time(5, 4, 0), 16.0);
+}
+
+TEST(CompleteForms, CoverHitting) {
+  EXPECT_DOUBLE_EQ(complete_hitting_time(5), 4.0);
+  EXPECT_NEAR(complete_cover_time(3), 3.0, 1e-12);          // 2 * H_2
+  EXPECT_NEAR(complete_cover_time(5), 4.0 * (25.0 / 12.0), 1e-12);
+  EXPECT_NEAR(complete_with_loops_cover_time(4), 4.0 * harmonic_number(3),
+              1e-12);
+  EXPECT_NEAR(complete_with_loops_k_cover_time(4, 2),
+              2.0 * harmonic_number(3), 1e-12);
+}
+
+TEST(StarForms, CoverAndHitting) {
+  EXPECT_NEAR(star_cover_time(3), 5.0, 1e-12);  // 2*2*H_2 - 1
+  EXPECT_DOUBLE_EQ(star_max_hitting_time(5), 8.0);
+  EXPECT_DOUBLE_EQ(star_max_hitting_time(3), 4.0);
+}
+
+TEST(AsymptoticForms, PositiveAndMonotone) {
+  EXPECT_GT(torus2d_cover_time_asymptotic(100), 0.0);
+  EXPECT_GT(torus2d_cover_time_asymptotic(400),
+            torus2d_cover_time_asymptotic(100));
+  EXPECT_GT(torusd_cover_time_asymptotic(1000, 3), 0.0);
+  EXPECT_GT(hypercube_cover_time_asymptotic(256), 0.0);
+  EXPECT_GT(nlogn_cover_time(64), 0.0);
+  EXPECT_DOUBLE_EQ(barbell_cover_time_order(10), 100.0);
+  EXPECT_DOUBLE_EQ(lollipop_cover_time_order(10), 1000.0);
+}
+
+TEST(AsymptoticForms, Torus2dMatchesDprzConstant) {
+  // (1/pi) n ln^2 n at n = e^2: (1/pi) e^2 * 4.
+  const double n = std::exp(2.0);
+  EXPECT_NEAR(torus2d_cover_time_asymptotic(static_cast<std::uint64_t>(n + 0.5)),
+              4.0 * 7.0 / 3.14159, 4.0);  // loose: integer rounding of n
+}
+
+}  // namespace
+}  // namespace manywalks

@@ -1,0 +1,129 @@
+#include "core/families.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace manywalks {
+namespace {
+
+TEST(FamilyNames, RoundTrip) {
+  for (GraphFamily family : all_families()) {
+    const auto name = family_name(family);
+    const auto parsed = family_from_name(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, family);
+  }
+}
+
+TEST(FamilyNames, UnknownNameIsNullopt) {
+  EXPECT_FALSE(family_from_name("petersen").has_value());
+}
+
+TEST(FamilyRegistry, Table1HasSevenFamilies) {
+  EXPECT_EQ(table1_families().size(), 7u);
+}
+
+TEST(FamilyRegistry, AllFamiliesCount) {
+  EXPECT_EQ(all_families().size(), 15u);
+}
+
+class FamilyInstanceSweep : public ::testing::TestWithParam<GraphFamily> {};
+
+TEST_P(FamilyInstanceSweep, InstancesAreWellFormed) {
+  const FamilyInstance inst = make_family_instance(GetParam(), 128, 3);
+  EXPECT_GT(inst.graph.num_vertices(), 0u);
+  EXPECT_TRUE(is_connected(inst.graph)) << inst.name;
+  EXPECT_LT(inst.start, inst.graph.num_vertices());
+  EXPECT_GT(inst.graph.min_degree(), 0u);
+  EXPECT_FALSE(inst.name.empty());
+  EXPECT_GT(inst.theory.cover, 0.0) << inst.name;
+  EXPECT_GT(inst.theory.h_max, 0.0);
+  EXPECT_FALSE(inst.theory.speedup_regime.empty());
+  // n should be within a factor ~3 of the request despite rounding.
+  EXPECT_GE(inst.graph.num_vertices(), 32u) << inst.name;
+  EXPECT_LE(inst.graph.num_vertices(), 512u) << inst.name;
+}
+
+TEST_P(FamilyInstanceSweep, BipartiteInstancesDeclareLazyMixing) {
+  const FamilyInstance inst = make_family_instance(GetParam(), 64, 3);
+  if (is_bipartite(inst.graph)) {
+    EXPECT_TRUE(inst.needs_lazy_mixing) << inst.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FamilyInstanceSweep,
+    ::testing::ValuesIn(all_families()),
+    [](const ::testing::TestParamInfo<GraphFamily>& param_info) {
+      std::string name{family_name(param_info.param)};
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(FamilyInstances, CycleIsOdd) {
+  const auto inst = make_family_instance(GraphFamily::kCycle, 100);
+  EXPECT_EQ(inst.graph.num_vertices() % 2, 1u);
+  EXPECT_EQ(inst.graph.num_vertices(), 101u);
+}
+
+TEST(FamilyInstances, HypercubeIsPowerOfTwo) {
+  const auto inst = make_family_instance(GraphFamily::kHypercube, 200);
+  EXPECT_TRUE(std::has_single_bit(inst.graph.num_vertices()));
+  EXPECT_EQ(inst.graph.num_vertices(), 256u);
+}
+
+TEST(FamilyInstances, Grid2dIsOddSquare) {
+  const auto inst = make_family_instance(GraphFamily::kGrid2d, 100);
+  EXPECT_EQ(inst.graph.num_vertices(), 121u);  // 11^2 (nearest odd side)
+  EXPECT_TRUE(inst.graph.is_regular());
+}
+
+TEST(FamilyInstances, BarbellStartsAtCenter) {
+  const auto inst = make_family_instance(GraphFamily::kBarbell, 64);
+  EXPECT_EQ(inst.graph.num_vertices() % 2, 1u);
+  EXPECT_EQ(inst.start, barbell_center(inst.graph.num_vertices()));
+  EXPECT_EQ(inst.graph.degree(inst.start), 2u);
+}
+
+TEST(FamilyInstances, MargulisKeepsDegreeEight) {
+  const auto inst = make_family_instance(GraphFamily::kMargulis, 120);
+  EXPECT_TRUE(inst.graph.is_regular());
+  EXPECT_EQ(inst.graph.degree(0), 8u);
+}
+
+TEST(FamilyInstances, RandomFamiliesAreSeedDeterministic) {
+  const auto a = make_family_instance(GraphFamily::kErdosRenyi, 128, 5);
+  const auto b = make_family_instance(GraphFamily::kErdosRenyi, 128, 5);
+  const auto c = make_family_instance(GraphFamily::kErdosRenyi, 128, 6);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  // Different seeds should (almost surely) give different graphs.
+  EXPECT_NE(a.graph.num_edges(), c.graph.num_edges());
+}
+
+TEST(FamilyInstances, BalancedTreeStartsAtDeepestLeaf) {
+  const auto inst = make_family_instance(GraphFamily::kBalancedTree, 63);
+  EXPECT_EQ(inst.start, inst.graph.num_vertices() - 1);
+  EXPECT_EQ(inst.graph.degree(inst.start), 1u);
+}
+
+TEST(FamilyInstances, ExactTheoryValuesForClosedFormFamilies) {
+  EXPECT_TRUE(make_family_instance(GraphFamily::kCycle, 64).theory.cover_exact);
+  EXPECT_TRUE(
+      make_family_instance(GraphFamily::kComplete, 64).theory.cover_exact);
+  EXPECT_FALSE(
+      make_family_instance(GraphFamily::kGrid2d, 64).theory.cover_exact);
+}
+
+TEST(FamilyInstances, RejectsTinyTargets) {
+  EXPECT_THROW(make_family_instance(GraphFamily::kCycle, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manywalks

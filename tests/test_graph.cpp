@@ -1,0 +1,171 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace manywalks {
+namespace {
+
+TEST(GraphBuilderTest, TriangleStructure) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_arcs(), 6u);
+  EXPECT_EQ(g.num_loops(), 0u);
+  for (Vertex v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_TRUE(g.is_simple());
+  EXPECT_TRUE(g.is_regular());
+}
+
+TEST(GraphBuilderTest, NeighborsAreSorted) {
+  GraphBuilder b(5);
+  b.add_edge(2, 4).add_edge(2, 0).add_edge(2, 3).add_edge(2, 1);
+  const Graph g = b.build();
+  const auto row = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+  EXPECT_EQ(row.size(), 4u);
+}
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+}
+
+TEST(GraphBuilderTest, IsolatedVerticesHaveDegreeZero) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_EQ(g.min_degree(), 0u);
+  EXPECT_EQ(g.max_degree(), 1u);
+  EXPECT_FALSE(g.is_regular());
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEdges) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(7, 0), std::invalid_argument);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoopByDefault) {
+  GraphBuilder b(3);
+  b.add_edge(1, 1);
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(GraphBuilderTest, KeepsSelfLoopWhenAllowed) {
+  GraphBuilder b(3);
+  b.add_edge(1, 1).add_edge(0, 1);
+  GraphBuilder::BuildOptions options;
+  options.loops = GraphBuilder::LoopPolicy::kKeep;
+  const Graph g = b.build(options);
+  EXPECT_EQ(g.num_loops(), 1u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  // Loop contributes one arc: degree(1) = loop + edge to 0 = 2.
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.edge_multiplicity(1, 1), 1u);
+  EXPECT_FALSE(g.is_simple());
+}
+
+TEST(GraphBuilderTest, RejectsParallelEdgesByDefault) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 0);
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(GraphBuilderTest, DedupesParallelEdges) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 1);
+  GraphBuilder::BuildOptions options;
+  options.duplicates = GraphBuilder::DuplicatePolicy::kDedupe;
+  const Graph g = b.build(options);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge_multiplicity(0, 1), 1u);
+}
+
+TEST(GraphBuilderTest, KeepsParallelEdges) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1).add_edge(0, 1).add_edge(0, 1);
+  GraphBuilder::BuildOptions options;
+  options.duplicates = GraphBuilder::DuplicatePolicy::kKeep;
+  const Graph g = b.build(options);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.edge_multiplicity(0, 1), 3u);
+  EXPECT_FALSE(g.is_simple());
+}
+
+TEST(GraphBuilderTest, AddArcMustBeSymmetric) {
+  GraphBuilder b(3);
+  b.add_arc(0, 1);  // no matching (1, 0) arc
+  GraphBuilder::BuildOptions options;
+  options.duplicates = GraphBuilder::DuplicatePolicy::kKeep;
+  EXPECT_THROW(b.build(options), std::invalid_argument);
+}
+
+TEST(GraphBuilderTest, SymmetricArcsBuild) {
+  GraphBuilder b(3);
+  b.add_arc(0, 1).add_arc(1, 0).add_arc(1, 2).add_arc(2, 1);
+  GraphBuilder::BuildOptions options;
+  options.duplicates = GraphBuilder::DuplicatePolicy::kKeep;
+  const Graph g = b.build(options);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphFromCsr, ValidatesOffsets) {
+  EXPECT_THROW(Graph::from_csr({1, 2}, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(Graph::from_csr({0, 3}, {0}), std::invalid_argument);
+}
+
+TEST(GraphFromCsr, ValidatesSortedRows) {
+  // Vertex 0 row: [1, 0] unsorted.
+  EXPECT_THROW(Graph::from_csr({0, 2, 3, 4}, {1, 0, 0, 0}, true),
+               std::invalid_argument);
+}
+
+TEST(GraphFromCsr, ValidatesSymmetry) {
+  // Arc 0->1 without 1->0.
+  EXPECT_THROW(Graph::from_csr({0, 1, 1}, {1}, true), std::invalid_argument);
+}
+
+TEST(GraphFromCsr, AcceptsValidCsr) {
+  const Graph g = Graph::from_csr({0, 1, 2}, {1, 0}, true);
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphAccessors, NeighborIndexing) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(0, 2).add_edge(0, 3);
+  const Graph g = b.build();
+  EXPECT_EQ(g.neighbor(0, 0), 1u);
+  EXPECT_EQ(g.neighbor(0, 1), 2u);
+  EXPECT_EQ(g.neighbor(0, 2), 3u);
+}
+
+TEST(GraphAccessors, HasEdgeChecksRange) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_THROW((void)g.has_edge(0, 5), std::invalid_argument);
+}
+
+TEST(Describe, MentionsSizeAndDegrees) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 2);
+  const Graph g = b.build();
+  const std::string d = describe(g);
+  EXPECT_NE(d.find("n=3"), std::string::npos);
+  EXPECT_NE(d.find("m=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manywalks

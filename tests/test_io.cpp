@@ -1,0 +1,93 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace manywalks {
+namespace {
+
+void expect_same_graph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+  EXPECT_EQ(a.num_loops(), b.num_loops());
+  for (Vertex v = 0; v < a.num_vertices(); ++v) {
+    const auto ra = a.neighbors(v);
+    const auto rb = b.neighbors(v);
+    ASSERT_EQ(ra.size(), rb.size()) << "vertex " << v;
+    for (std::size_t i = 0; i < ra.size(); ++i) EXPECT_EQ(ra[i], rb[i]);
+  }
+}
+
+TEST(GraphIo, RoundtripSimpleFamilies) {
+  for (const Graph& g :
+       {make_cycle(9), make_complete(6), make_hypercube(3), make_barbell(11)}) {
+    std::stringstream ss;
+    write_edge_list(ss, g);
+    const Graph back = read_edge_list(ss);
+    expect_same_graph(g, back);
+  }
+}
+
+TEST(GraphIo, RoundtripLoopsAndMultiEdges) {
+  GraphBuilder b(3);
+  b.add_edge(0, 0).add_edge(0, 1).add_edge(0, 1).add_edge(1, 2);
+  GraphBuilder::BuildOptions options;
+  options.duplicates = GraphBuilder::DuplicatePolicy::kKeep;
+  options.loops = GraphBuilder::LoopPolicy::kKeep;
+  const Graph g = b.build(options);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  expect_same_graph(g, read_edge_list(ss));
+}
+
+TEST(GraphIo, RoundtripMargulisMultigraph) {
+  const Graph g = make_margulis_expander(4);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  expect_same_graph(g, read_edge_list(ss));
+}
+
+TEST(GraphIo, HeaderIsWritten) {
+  std::stringstream ss;
+  write_edge_list(ss, make_path(3));
+  std::string first_line;
+  std::getline(ss, first_line);
+  EXPECT_EQ(first_line, "# manywalks-graph 1");
+}
+
+TEST(GraphIo, RejectsMissingHeader) {
+  std::stringstream ss("3\n0 1\n");
+  EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsBadEdgeLine) {
+  std::stringstream ss("# manywalks-graph 1\n3\n0 soup\n");
+  EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsOutOfRangeVertex) {
+  std::stringstream ss("# manywalks-graph 1\n3\n0 5\n");
+  EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+}
+
+TEST(GraphIo, SkipsCommentsAndBlankLines) {
+  std::stringstream ss("# manywalks-graph 1\n3\n\n# a comment\n0 1\n1 2\n");
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphIo, EmptyEdgeSetRoundtrips) {
+  GraphBuilder b(5);
+  const Graph g = b.build();
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph back = read_edge_list(ss);
+  EXPECT_EQ(back.num_vertices(), 5u);
+  EXPECT_EQ(back.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace manywalks

@@ -1,0 +1,173 @@
+#include "linalg/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+
+namespace manywalks {
+namespace {
+
+TEST(StationaryDistribution, ProportionalToDegree) {
+  const Graph g = make_star(5);  // hub degree 4, leaves degree 1
+  const auto pi = stationary_distribution(g);
+  EXPECT_DOUBLE_EQ(pi[0], 0.5);
+  for (Vertex v = 1; v < 5; ++v) EXPECT_DOUBLE_EQ(pi[v], 0.125);
+  EXPECT_NEAR(std::accumulate(pi.begin(), pi.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(StationaryDistribution, UniformOnRegularGraphs) {
+  for (const Graph& g : {make_cycle(6), make_hypercube(3), make_complete(5)}) {
+    const auto pi = stationary_distribution(g);
+    for (double p : pi) {
+      EXPECT_NEAR(p, 1.0 / g.num_vertices(), 1e-12);
+    }
+  }
+}
+
+TEST(StationaryDistribution, LoopsCountOnce) {
+  const Graph g = make_complete(4, /*with_self_loops=*/true);
+  const auto pi = stationary_distribution(g);
+  for (double p : pi) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST(EvolveDistribution, PreservesMass) {
+  const Graph g = make_barbell(9);
+  std::vector<double> p(g.num_vertices(), 0.0);
+  p[0] = 1.0;
+  std::vector<double> q;
+  for (int t = 0; t < 20; ++t) {
+    evolve_distribution(g, p, q);
+    p.swap(q);
+    EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
+  }
+}
+
+TEST(EvolveDistribution, OneStepOnTriangle) {
+  const Graph g = make_cycle(3);
+  std::vector<double> p = {1.0, 0.0, 0.0};
+  std::vector<double> q;
+  evolve_distribution(g, p, q);
+  EXPECT_NEAR(q[0], 0.0, 1e-15);
+  EXPECT_NEAR(q[1], 0.5, 1e-15);
+  EXPECT_NEAR(q[2], 0.5, 1e-15);
+}
+
+TEST(EvolveDistribution, StationaryIsFixedPoint) {
+  const Graph g = make_star(7);
+  const auto pi = stationary_distribution(g);
+  std::vector<double> next;
+  evolve_distribution(g, pi, next);
+  EXPECT_NEAR(l1_distance(pi, next), 0.0, 1e-12);
+}
+
+TEST(EvolveDistribution, LazyHalvesMotion) {
+  const Graph g = make_cycle(3);
+  std::vector<double> p = {1.0, 0.0, 0.0};
+  std::vector<double> q;
+  evolve_distribution(g, p, q, /*laziness=*/0.5);
+  EXPECT_NEAR(q[0], 0.5, 1e-15);
+  EXPECT_NEAR(q[1], 0.25, 1e-15);
+  EXPECT_NEAR(q[2], 0.25, 1e-15);
+}
+
+TEST(L1Distance, BasicProperties) {
+  const std::vector<double> a = {0.5, 0.5, 0.0};
+  const std::vector<double> b = {0.0, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(l1_distance(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(l1_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(total_variation(a, b), 0.5);
+}
+
+TEST(TransitionMatrixDense, RowsAreStochastic) {
+  const Graph g = make_barbell(9);
+  const DenseMatrix p = transition_matrix_dense(g);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    double row_sum = 0.0;
+    for (Vertex u = 0; u < g.num_vertices(); ++u) row_sum += p.at(v, u);
+    EXPECT_NEAR(row_sum, 1.0, 1e-12);
+  }
+}
+
+TEST(TransitionMatrixDense, EntriesMatchDegrees) {
+  const Graph g = make_star(4);
+  const DenseMatrix p = transition_matrix_dense(g);
+  EXPECT_NEAR(p.at(0, 1), 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(p.at(1, 0), 1.0, 1e-15);
+  EXPECT_NEAR(p.at(1, 2), 0.0, 1e-15);
+}
+
+TEST(TransitionMatrixDense, SelfLoopWeight) {
+  const Graph g = make_complete(3, /*with_self_loops=*/true);
+  const DenseMatrix p = transition_matrix_dense(g);
+  EXPECT_NEAR(p.at(0, 0), 1.0 / 3.0, 1e-15);
+}
+
+TEST(TransitionMatrixDense, LazinessAddsDiagonal) {
+  const Graph g = make_cycle(4);
+  const DenseMatrix p = transition_matrix_dense(g, 0.5);
+  EXPECT_NEAR(p.at(0, 0), 0.5, 1e-15);
+  EXPECT_NEAR(p.at(0, 1), 0.25, 1e-15);
+}
+
+TEST(MixingTime, CompleteWithLoopsMixesInOneStep) {
+  const Graph g = make_complete(16, /*with_self_loops=*/true);
+  const auto result = mixing_time(g);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.time, 1u);
+}
+
+TEST(MixingTime, EvenCycleNeverConverges) {
+  const Graph g = make_cycle(8);  // bipartite: plain walk is periodic
+  MixingOptions options;
+  options.max_steps = 2000;
+  const auto result = mixing_time(g, options);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(MixingTime, LazyWalkConvergesOnEvenCycle) {
+  const Graph g = make_cycle(8);
+  MixingOptions options;
+  options.laziness = 0.5;
+  options.max_steps = 100000;
+  const auto result = mixing_time(g, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.time, 0u);
+}
+
+TEST(MixingTime, GrowsQuadraticallyOnOddCycles) {
+  MixingOptions options;
+  options.max_steps = 1'000'000;
+  options.sources = {0};  // vertex-transitive: one source suffices
+  const auto small = mixing_time(make_cycle(17), options);
+  const auto large = mixing_time(make_cycle(51), options);
+  ASSERT_TRUE(small.converged);
+  ASSERT_TRUE(large.converged);
+  const double ratio = static_cast<double>(large.time) /
+                       static_cast<double>(small.time);
+  // n tripled => t_mix should grow ~9x (allow (2, 20) for slack).
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST(MixingTime, MargulisMixesFast) {
+  const Graph g = make_margulis_expander(8);  // n = 64, aperiodic (loops)
+  MixingOptions options;
+  options.max_steps = 10000;
+  const auto result = mixing_time(g, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.time, 40u);  // O(log n) with a small constant
+}
+
+TEST(MixingTime, SubsetOfSourcesRuns) {
+  const Graph g = make_cycle(9);
+  MixingOptions options;
+  options.sources = {0, 4};
+  options.max_steps = 100000;
+  const auto result = mixing_time(g, options);
+  EXPECT_TRUE(result.converged);
+}
+
+}  // namespace
+}  // namespace manywalks

@@ -1,0 +1,159 @@
+#include "mc/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+namespace manywalks {
+namespace {
+
+TEST(MonteCarloRunner, ConstantTrialGivesExactMean) {
+  McOptions options;
+  options.min_trials = 8;
+  options.max_trials = 64;
+  const auto result = run_monte_carlo(
+      [](std::uint64_t, Rng&) { return TrialOutcome{7.0, false}; }, options);
+  EXPECT_DOUBLE_EQ(result.ci.mean, 7.0);
+  EXPECT_DOUBLE_EQ(result.ci.half_width, 0.0);
+  EXPECT_TRUE(result.target_met);
+  EXPECT_EQ(result.censored, 0u);
+  // Zero variance: stops right after the first batch (min_trials).
+  EXPECT_EQ(result.stats.count(), 8u);
+}
+
+TEST(MonteCarloRunner, DeterministicAcrossThreadCounts) {
+  const auto trial = [](std::uint64_t, Rng& rng) {
+    double acc = 0.0;
+    for (int i = 0; i < 100; ++i) acc += rng.uniform01();
+    return TrialOutcome{acc, false};
+  };
+  McOptions options;
+  options.min_trials = 40;
+  options.max_trials = 40;
+  options.seed = 99;
+
+  options.threads = 1;
+  const auto serial = run_monte_carlo(trial, options);
+  options.threads = 8;
+  const auto parallel = run_monte_carlo(trial, options);
+  EXPECT_DOUBLE_EQ(serial.ci.mean, parallel.ci.mean);
+  EXPECT_DOUBLE_EQ(serial.stats.variance(), parallel.stats.variance());
+  EXPECT_EQ(serial.stats.count(), parallel.stats.count());
+}
+
+TEST(MonteCarloRunner, SeedChangesResults) {
+  const auto trial = [](std::uint64_t, Rng& rng) {
+    return TrialOutcome{rng.uniform01(), false};
+  };
+  McOptions options;
+  options.min_trials = 16;
+  options.max_trials = 16;
+  options.seed = 1;
+  const auto r1 = run_monte_carlo(trial, options);
+  options.seed = 2;
+  const auto r2 = run_monte_carlo(trial, options);
+  EXPECT_NE(r1.ci.mean, r2.ci.mean);
+}
+
+TEST(MonteCarloRunner, TrialIndexIsPassedThrough) {
+  std::atomic<std::uint64_t> index_sum{0};
+  McOptions options;
+  options.min_trials = 10;
+  options.max_trials = 10;
+  run_monte_carlo(
+      [&index_sum](std::uint64_t index, Rng&) {
+        index_sum.fetch_add(index);
+        return TrialOutcome{0.0, false};
+      },
+      options);
+  EXPECT_EQ(index_sum.load(), 45u);  // 0 + 1 + ... + 9
+}
+
+TEST(MonteCarloRunner, StopsAtTargetPrecision) {
+  // Low-variance trial: should stop well before max_trials.
+  const auto trial = [](std::uint64_t, Rng& rng) {
+    return TrialOutcome{100.0 + rng.uniform01(), false};
+  };
+  McOptions options;
+  options.min_trials = 16;
+  options.max_trials = 100000;
+  options.target_rel_half_width = 0.01;
+  const auto result = run_monte_carlo(trial, options);
+  EXPECT_TRUE(result.target_met);
+  EXPECT_LT(result.stats.count(), 1000u);
+}
+
+TEST(MonteCarloRunner, RespectsMaxTrials) {
+  // High-variance trial with an unreachable precision target.
+  const auto trial = [](std::uint64_t, Rng& rng) {
+    return TrialOutcome{rng.uniform01() < 0.5 ? 0.0 : 1000.0, false};
+  };
+  McOptions options;
+  options.min_trials = 8;
+  options.max_trials = 64;
+  options.target_rel_half_width = 1e-6;
+  const auto result = run_monte_carlo(trial, options);
+  EXPECT_FALSE(result.target_met);
+  EXPECT_EQ(result.stats.count(), 64u);
+}
+
+TEST(MonteCarloRunner, CountsCensoredTrials) {
+  McOptions options;
+  options.min_trials = 10;
+  options.max_trials = 10;
+  const auto result = run_monte_carlo(
+      [](std::uint64_t index, Rng&) {
+        return TrialOutcome{1.0, index % 2 == 0};
+      },
+      options);
+  EXPECT_EQ(result.censored, 5u);
+}
+
+TEST(MonteCarloRunner, MeanOfUniformIsHalf) {
+  McOptions options;
+  options.min_trials = 4000;
+  options.max_trials = 4000;
+  const auto result = run_monte_carlo(
+      [](std::uint64_t, Rng& rng) { return TrialOutcome{rng.uniform01(), false}; },
+      options);
+  EXPECT_NEAR(result.ci.mean, 0.5, 0.02);
+  // 95% CI half-width for 4000 uniform samples ≈ 1.96 * 0.2887/63.2 ≈ 0.009.
+  EXPECT_NEAR(result.ci.half_width, 0.009, 0.003);
+}
+
+TEST(MonteCarloRunner, UsesExternalPool) {
+  ThreadPool pool(2);
+  McOptions options;
+  options.min_trials = 16;
+  options.max_trials = 16;
+  const auto result = run_monte_carlo(
+      [](std::uint64_t, Rng& rng) { return TrialOutcome{rng.uniform01(), false}; },
+      options, &pool);
+  EXPECT_EQ(result.stats.count(), 16u);
+  // The pool must remain usable.
+  pool.wait_idle();
+}
+
+TEST(MonteCarloRunner, ValidatesOptions) {
+  const auto trial = [](std::uint64_t, Rng&) { return TrialOutcome{}; };
+  McOptions bad;
+  bad.min_trials = 10;
+  bad.max_trials = 5;
+  EXPECT_THROW(run_monte_carlo(trial, bad), std::invalid_argument);
+  McOptions zero;
+  zero.min_trials = 0;
+  EXPECT_THROW(run_monte_carlo(trial, zero), std::invalid_argument);
+}
+
+TEST(MonteCarloRunner, TimingIsPopulated) {
+  McOptions options;
+  options.min_trials = 4;
+  options.max_trials = 4;
+  const auto result = run_monte_carlo(
+      [](std::uint64_t, Rng&) { return TrialOutcome{1.0, false}; }, options);
+  EXPECT_GE(result.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace manywalks

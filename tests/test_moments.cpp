@@ -1,0 +1,139 @@
+// Tests for the exact cover-time moment oracle and the concentration /
+// stationary-start estimators built on it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "mc/estimators.hpp"
+#include "theory/exact.hpp"
+
+namespace manywalks {
+namespace {
+
+TEST(CoverMomentsTest, DeterministicCoverHasZeroVariance) {
+  // K_2: the cover time is exactly 1.
+  const auto m = exact_cover_time_moments(make_path(2), 0);
+  EXPECT_NEAR(m.mean, 1.0, 1e-12);
+  EXPECT_NEAR(m.variance, 0.0, 1e-10);
+  EXPECT_NEAR(m.coefficient_of_variation(), 0.0, 1e-9);
+}
+
+TEST(CoverMomentsTest, TriangleHandComputed) {
+  // Triangle from any vertex: T = 1 + X with X ~ Geometric(1/2) on
+  // {1,2,...}: mean 1 + 2 = 3, variance = (1-p)/p^2 = 2.
+  const auto m = exact_cover_time_moments(make_cycle(3), 0);
+  EXPECT_NEAR(m.mean, 3.0, 1e-10);
+  EXPECT_NEAR(m.variance, 2.0, 1e-10);
+}
+
+TEST(CoverMomentsTest, MeanMatchesPlainOracle) {
+  for (const Graph& g : {make_cycle(7), make_star(6), make_barbell(9),
+                         make_complete(5), make_path(6)}) {
+    const double mean_only = exact_cover_time(g, 0);
+    const auto m = exact_cover_time_moments(g, 0);
+    EXPECT_NEAR(m.mean, mean_only, 1e-7);
+    EXPECT_GE(m.variance, -1e-8);
+  }
+}
+
+TEST(CoverMomentsTest, MatchesMonteCarloVariance) {
+  const Graph g = make_cycle(9);
+  const auto m = exact_cover_time_moments(g, 0);
+  const auto samples = collect_cover_samples(g, 0, 1, 6000, 404);
+  RunningStats stats;
+  for (double v : samples) stats.add(v);
+  EXPECT_NEAR(stats.mean(), m.mean, 0.05 * m.mean);
+  // Sample variance of the variance is large; allow 15%.
+  EXPECT_NEAR(stats.variance(), m.variance, 0.15 * m.variance);
+}
+
+TEST(CoverMomentsTest, AldousDirectionOnSmallGraphs) {
+  // C/h_max is larger on K_n than on the cycle; the coefficient of
+  // variation must order the other way (more concentration on K_n).
+  const auto clique = exact_cover_time_moments(make_complete(12), 0);
+  const auto cycle = exact_cover_time_moments(make_cycle(12), 0);
+  EXPECT_LT(clique.coefficient_of_variation(),
+            cycle.coefficient_of_variation());
+}
+
+TEST(CoverMomentsTest, RejectsLargeGraphs) {
+  EXPECT_THROW(exact_cover_time_moments(make_cycle(17), 0),
+               std::invalid_argument);
+}
+
+TEST(CollectCoverSamples, DeterministicAndSized) {
+  const Graph g = make_cycle(11);
+  const auto a = collect_cover_samples(g, 0, 2, 50, 99);
+  const auto b = collect_cover_samples(g, 0, 2, 50, 99);
+  ASSERT_EQ(a.size(), 50u);
+  EXPECT_EQ(a, b);
+  const auto c = collect_cover_samples(g, 0, 2, 50, 100);
+  EXPECT_NE(a, c);
+}
+
+TEST(CollectCoverSamples, AgreesWithEstimator) {
+  const Graph g = make_cycle(15);
+  const auto samples = collect_cover_samples(g, 0, 2, 2000, 7);
+  RunningStats stats;
+  for (double v : samples) stats.add(v);
+  McOptions mc;
+  mc.min_trials = 2000;
+  mc.max_trials = 2000;
+  mc.seed = 8;
+  const auto est = estimate_k_cover_time(g, 0, 2, mc);
+  EXPECT_NEAR(stats.mean(), est.ci.mean, 0.1 * est.ci.mean);
+}
+
+TEST(StationaryStartCover, MatchesFixedStartOnVertexTransitiveGraphs) {
+  // On the complete graph every start is equivalent, so stationary starts
+  // change nothing (k = 1).
+  const Graph g = make_complete(32);
+  McOptions mc;
+  mc.min_trials = 1500;
+  mc.max_trials = 1500;
+  mc.seed = 11;
+  const auto stationary = estimate_stationary_start_cover(g, 1, mc);
+  mc.seed = 12;
+  const auto fixed = estimate_cover_time(g, 0, mc);
+  EXPECT_NEAR(stationary.ci.mean, fixed.ci.mean,
+              4.0 * (stationary.ci.half_width + fixed.ci.half_width));
+}
+
+TEST(StationaryStartCover, BarbellCenterStartBeatsStationaryForKAtLeast2) {
+  // Thm 7's mechanism cuts both ways: from the CENTER with k >= 2 the
+  // tokens split into both bells w.h.p. and the center itself is covered
+  // at t = 0, so the cover is fast. Stationary starts land inside the
+  // bells, and covering the center then costs a Θ(n²) bell-to-center
+  // hitting time (divided by k) — strictly slower.
+  const Graph g = make_barbell(41);
+  McOptions mc;
+  mc.min_trials = 300;
+  mc.max_trials = 300;
+  mc.seed = 13;
+  const auto stationary = estimate_stationary_start_cover(g, 4, mc);
+  mc.seed = 14;
+  const auto center = estimate_k_cover_time(g, barbell_center(41), 4, mc);
+  EXPECT_GT(stationary.ci.mean, 1.2 * center.ci.mean);
+
+  // Both k = 4 placements still crush the single walk from the center,
+  // which must escape a bell: Θ(n²).
+  mc.seed = 15;
+  const auto single = estimate_cover_time(g, barbell_center(41), mc);
+  EXPECT_GT(single.ci.mean, 2.0 * stationary.ci.mean);
+}
+
+TEST(StationaryStartCover, ImprovesWithK) {
+  const Graph g = make_grid_2d(9);
+  McOptions mc;
+  mc.min_trials = 400;
+  mc.max_trials = 400;
+  mc.seed = 15;
+  const auto k1 = estimate_stationary_start_cover(g, 1, mc);
+  mc.seed = 16;
+  const auto k8 = estimate_stationary_start_cover(g, 8, mc);
+  EXPECT_LT(k8.ci.mean, k1.ci.mean / 4.0);
+}
+
+}  // namespace
+}  // namespace manywalks

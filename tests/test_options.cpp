@@ -1,0 +1,130 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace manywalks {
+namespace {
+
+/// argv helper: builds a mutable char** from strings.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(ArgParserTest, ParsesTypedOptions) {
+  std::uint64_t n = 10;
+  double p = 0.5;
+  std::string name = "x";
+  unsigned k = 1;
+  ArgParser parser("prog", "test");
+  parser.add_option("n", &n, "count")
+      .add_option("p", &p, "prob")
+      .add_option("name", &name, "label")
+      .add_option("k", &k, "walks");
+  Argv args({"prog", "--n", "42", "--p", "0.25", "--name", "cycle", "--k", "8"});
+  ASSERT_TRUE(parser.parse(args.argc(), args.argv()));
+  EXPECT_EQ(n, 42u);
+  EXPECT_DOUBLE_EQ(p, 0.25);
+  EXPECT_EQ(name, "cycle");
+  EXPECT_EQ(k, 8u);
+}
+
+TEST(ArgParserTest, EqualsSyntax) {
+  std::int64_t v = 0;
+  ArgParser parser("prog", "test");
+  parser.add_option("v", &v, "value");
+  Argv args({"prog", "--v=-17"});
+  ASSERT_TRUE(parser.parse(args.argc(), args.argv()));
+  EXPECT_EQ(v, -17);
+}
+
+TEST(ArgParserTest, FlagsDefaultFalse) {
+  bool full = false;
+  ArgParser parser("prog", "test");
+  parser.add_flag("full", &full, "run full scale");
+  {
+    Argv args({"prog"});
+    ASSERT_TRUE(parser.parse(args.argc(), args.argv()));
+    EXPECT_FALSE(full);
+  }
+  {
+    Argv args({"prog", "--full"});
+    ASSERT_TRUE(parser.parse(args.argc(), args.argv()));
+    EXPECT_TRUE(full);
+  }
+}
+
+TEST(ArgParserTest, UnknownOptionFails) {
+  ArgParser parser("prog", "test");
+  Argv args({"prog", "--bogus", "1"});
+  EXPECT_FALSE(parser.parse(args.argc(), args.argv()));
+}
+
+TEST(ArgParserTest, MissingValueFails) {
+  std::uint64_t n = 0;
+  ArgParser parser("prog", "test");
+  parser.add_option("n", &n, "count");
+  Argv args({"prog", "--n"});
+  EXPECT_FALSE(parser.parse(args.argc(), args.argv()));
+}
+
+TEST(ArgParserTest, BadNumberFails) {
+  std::uint64_t n = 0;
+  ArgParser parser("prog", "test");
+  parser.add_option("n", &n, "count");
+  Argv args({"prog", "--n", "soup"});
+  EXPECT_FALSE(parser.parse(args.argc(), args.argv()));
+}
+
+TEST(ArgParserTest, HelpReturnsFalse) {
+  ArgParser parser("prog", "test");
+  Argv args({"prog", "--help"});
+  EXPECT_FALSE(parser.parse(args.argc(), args.argv()));
+}
+
+TEST(ArgParserTest, PositionalArgumentFails) {
+  ArgParser parser("prog", "test");
+  Argv args({"prog", "stray"});
+  EXPECT_FALSE(parser.parse(args.argc(), args.argv()));
+}
+
+TEST(ArgParserTest, UsageMentionsOptionsAndDefaults) {
+  std::uint64_t n = 123;
+  ArgParser parser("prog", "does things");
+  parser.add_option("n", &n, "the count");
+  const std::string usage = parser.usage();
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("the count"), std::string::npos);
+  EXPECT_NE(usage.find("123"), std::string::npos);
+  EXPECT_NE(usage.find("does things"), std::string::npos);
+}
+
+TEST(ArgParserTest, DuplicateRegistrationThrows) {
+  std::uint64_t n = 0;
+  ArgParser parser("prog", "test");
+  parser.add_option("n", &n, "count");
+  EXPECT_THROW(parser.add_option("n", &n, "again"), std::invalid_argument);
+}
+
+TEST(ArgParserTest, FlagWithValueFails) {
+  bool f = false;
+  ArgParser parser("prog", "test");
+  parser.add_flag("f", &f, "flag");
+  Argv args({"prog", "--f=true"});
+  EXPECT_FALSE(parser.parse(args.argc(), args.argv()));
+}
+
+}  // namespace
+}  // namespace manywalks

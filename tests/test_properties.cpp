@@ -1,0 +1,153 @@
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace manywalks {
+namespace {
+
+TEST(BfsDistances, PathDistances) {
+  const Graph g = make_path(6);
+  const auto dist = bfs_distances(g, 0);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(BfsDistances, CycleDistancesWrap) {
+  const Graph g = make_cycle(8);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[4], 4u);
+  EXPECT_EQ(dist[7], 1u);
+  EXPECT_EQ(dist[5], 3u);
+}
+
+TEST(BfsDistances, DisconnectedIsUnreachable) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(IsConnected, Families) {
+  EXPECT_TRUE(is_connected(make_cycle(9)));
+  EXPECT_TRUE(is_connected(make_hypercube(3)));
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_FALSE(is_connected(b.build()));
+}
+
+TEST(ConnectedComponents, CountsAndSizes) {
+  GraphBuilder b(7);
+  b.add_edge(0, 1).add_edge(1, 2);     // component of size 3
+  b.add_edge(3, 4);                    // size 2
+  // 5 and 6 isolated.
+  const Graph g = b.build();
+  const auto comps = connected_components(g);
+  EXPECT_EQ(comps.num_components, 4u);
+  EXPECT_EQ(comps.sizes[comps.largest], 3u);
+  EXPECT_EQ(comps.component_of[0], comps.component_of[2]);
+  EXPECT_NE(comps.component_of[0], comps.component_of[3]);
+}
+
+TEST(ExtractLargestComponent, KeepsStructure) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);  // triangle
+  b.add_edge(4, 5);
+  const Graph g = b.build();
+  const auto sub = extract_largest_component(g);
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);
+  EXPECT_TRUE(is_connected(sub.graph));
+  // Mapping roundtrip.
+  for (Vertex new_v = 0; new_v < 3; ++new_v) {
+    EXPECT_EQ(sub.old_to_new[sub.new_to_old[new_v]], new_v);
+  }
+  EXPECT_EQ(sub.old_to_new[4], kInvalidVertex);
+}
+
+TEST(ExtractLargestComponent, PreservesLoopsAndMultiEdges) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(0, 1).add_edge(1, 1);
+  GraphBuilder::BuildOptions options;
+  options.duplicates = GraphBuilder::DuplicatePolicy::kKeep;
+  options.loops = GraphBuilder::LoopPolicy::kKeep;
+  const Graph g = b.build(options);
+  const auto sub = extract_largest_component(g);
+  EXPECT_EQ(sub.graph.num_vertices(), 2u);
+  EXPECT_EQ(sub.graph.num_loops(), 1u);
+  EXPECT_EQ(sub.graph.edge_multiplicity(0, 1), 2u);
+}
+
+TEST(Eccentricity, CycleAndPath) {
+  EXPECT_EQ(eccentricity(make_cycle(10), 0), 5u);
+  EXPECT_EQ(eccentricity(make_path(10), 0), 9u);
+  EXPECT_EQ(eccentricity(make_path(9), 4), 4u);
+}
+
+TEST(DiameterExact, KnownValues) {
+  EXPECT_EQ(diameter_exact(make_cycle(10)), 5u);
+  EXPECT_EQ(diameter_exact(make_cycle(11)), 5u);
+  EXPECT_EQ(diameter_exact(make_path(10)), 9u);
+  EXPECT_EQ(diameter_exact(make_complete(10)), 1u);
+  EXPECT_EQ(diameter_exact(make_hypercube(5)), 5u);
+  EXPECT_EQ(diameter_exact(make_grid_2d(4, GridTopology::kOpen)), 6u);
+  EXPECT_EQ(diameter_exact(make_grid_2d(5, GridTopology::kTorus)), 4u);
+  EXPECT_EQ(diameter_exact(make_star(17)), 2u);
+}
+
+TEST(DiameterExact, DisconnectedReturnsSentinel) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_EQ(diameter_exact(b.build()), kUnreachable);
+}
+
+TEST(DiameterLowerBound, NeverExceedsExact) {
+  Rng rng(4);
+  for (const Graph& g : {make_cycle(30), make_path(17), make_hypercube(4)}) {
+    const auto exact = diameter_exact(g);
+    Rng local = rng;
+    EXPECT_LE(diameter_lower_bound(g, local), exact);
+  }
+}
+
+TEST(DiameterLowerBound, TightOnPath) {
+  // Double sweep is exact on trees.
+  const Graph g = make_path(40);
+  Rng rng(8);
+  EXPECT_EQ(diameter_lower_bound(g, rng), 39u);
+}
+
+TEST(IsBipartite, KnownFamilies) {
+  EXPECT_TRUE(is_bipartite(make_cycle(8)));
+  EXPECT_FALSE(is_bipartite(make_cycle(9)));
+  EXPECT_TRUE(is_bipartite(make_path(5)));
+  EXPECT_TRUE(is_bipartite(make_hypercube(4)));
+  EXPECT_TRUE(is_bipartite(make_star(10)));
+  EXPECT_FALSE(is_bipartite(make_complete(3)));
+  EXPECT_TRUE(is_bipartite(make_complete_bipartite(3, 5)));
+  EXPECT_FALSE(is_bipartite(make_barbell(9)));
+}
+
+TEST(IsBipartite, SelfLoopBreaksBipartiteness) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1).add_edge(0, 0);
+  GraphBuilder::BuildOptions options;
+  options.loops = GraphBuilder::LoopPolicy::kKeep;
+  EXPECT_FALSE(is_bipartite(b.build(options)));
+}
+
+TEST(DegreeStatsTest, MeanAndRegularity) {
+  const auto stats = degree_stats(make_star(5));
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean, 8.0 / 5.0);
+  EXPECT_FALSE(stats.regular);
+  EXPECT_TRUE(degree_stats(make_cycle(6)).regular);
+}
+
+}  // namespace
+}  // namespace manywalks

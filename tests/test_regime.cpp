@@ -1,0 +1,175 @@
+// Tests for the least-squares utilities and the speed-up regime classifier.
+#include "core/regime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace manywalks {
+namespace {
+
+TEST(LinearFitTest, ExactLine) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 3.0, 5.0, 7.0};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyLineHasGoodR2) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(0.5 * i + 2.0 + ((i % 3) - 1) * 0.1);
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFitTest, ConstantYIsFlatLine) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {4.0, 4.0, 4.0};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, UncorrelatedHasLowR2) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y = {0.0, 1.0, 0.0, 1.0};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_LT(fit.r_squared, 0.5);
+}
+
+TEST(LinearFitTest, Validation) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(linear_fit(one, one), std::invalid_argument);
+  const std::vector<double> x = {2.0, 2.0};
+  const std::vector<double> y = {1.0, 3.0};
+  EXPECT_THROW(linear_fit(x, y), std::invalid_argument);
+  const std::vector<double> short_y = {1.0};
+  const std::vector<double> x2 = {1.0, 2.0};
+  EXPECT_THROW(linear_fit(x2, short_y), std::invalid_argument);
+}
+
+namespace {
+
+SpeedupEstimate synthetic_point(unsigned k, double speedup) {
+  SpeedupEstimate p;
+  p.k = k;
+  p.speedup = speedup;
+  return p;
+}
+
+std::vector<SpeedupEstimate> synthetic_curve(double (*f)(double)) {
+  // Span a wide k range: a log curve over a narrow range is locally
+  // indistinguishable from a small power law.
+  std::vector<SpeedupEstimate> out;
+  for (unsigned k : {2u, 8u, 32u, 128u, 512u, 2048u}) {
+    out.push_back(synthetic_point(k, f(static_cast<double>(k))));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(RegimeClassifier, LinearCurve) {
+  const auto curve = synthetic_curve(+[](double k) { return 0.9 * k; });
+  const RegimeFit fit = classify_speedup_regime(curve);
+  EXPECT_NEAR(fit.exponent, 1.0, 1e-9);
+  EXPECT_NEAR(fit.multiplier, 0.9, 1e-9);
+  EXPECT_EQ(fit.regime, SpeedupRegime::kLinear);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(RegimeClassifier, LogarithmicCurve) {
+  const auto curve = synthetic_curve(+[](double k) { return 3.0 * std::log(k); });
+  const RegimeFit fit = classify_speedup_regime(curve);
+  EXPECT_LT(fit.exponent, 0.45);
+  EXPECT_EQ(fit.regime, SpeedupRegime::kLogarithmic);
+}
+
+TEST(RegimeClassifier, SuperLinearCurve) {
+  const auto curve = synthetic_curve(+[](double k) { return std::pow(k, 1.5); });
+  const RegimeFit fit = classify_speedup_regime(curve);
+  EXPECT_NEAR(fit.exponent, 1.5, 1e-9);
+  EXPECT_EQ(fit.regime, SpeedupRegime::kSuperLinear);
+}
+
+TEST(RegimeClassifier, SublinearCurve) {
+  const auto curve = synthetic_curve(+[](double k) { return std::pow(k, 0.6); });
+  const RegimeFit fit = classify_speedup_regime(curve);
+  EXPECT_EQ(fit.regime, SpeedupRegime::kSublinear);
+}
+
+TEST(RegimeClassifier, IgnoresKOne) {
+  std::vector<SpeedupEstimate> curve = {synthetic_point(1, 1.0),
+                                        synthetic_point(4, 4.0),
+                                        synthetic_point(16, 16.0)};
+  const RegimeFit fit = classify_speedup_regime(curve);
+  EXPECT_NEAR(fit.exponent, 1.0, 1e-9);
+}
+
+TEST(RegimeClassifier, NeedsTwoUsablePoints) {
+  std::vector<SpeedupEstimate> curve = {synthetic_point(1, 1.0),
+                                        synthetic_point(4, 4.0)};
+  EXPECT_THROW(classify_speedup_regime(curve), std::invalid_argument);
+}
+
+TEST(RegimeClassifier, NamesAreStable) {
+  EXPECT_EQ(regime_name(SpeedupRegime::kLinear), "linear");
+  EXPECT_EQ(regime_name(SpeedupRegime::kLogarithmic), "logarithmic");
+  EXPECT_EQ(regime_name(SpeedupRegime::kSuperLinear), "super-linear");
+  EXPECT_EQ(regime_name(SpeedupRegime::kSublinear), "sublinear");
+}
+
+// End-to-end: measured curves land in the regimes Table 1 predicts.
+TEST(RegimeClassifier, MeasuredCycleIsLogarithmic) {
+  const Graph g = make_cycle(129);
+  McOptions mc;
+  mc.min_trials = 300;
+  mc.max_trials = 300;
+  mc.seed = 42;
+  const std::vector<unsigned> ks = {4, 16, 64, 256};
+  const auto curve = estimate_speedup_curve(g, 0, ks, mc);
+  const RegimeFit fit = classify_speedup_regime(curve);
+  EXPECT_EQ(fit.regime, SpeedupRegime::kLogarithmic)
+      << "exponent " << fit.exponent;
+}
+
+TEST(RegimeClassifier, MeasuredExpanderIsLinear) {
+  const Graph g = make_margulis_expander(11);  // n = 121
+  McOptions mc;
+  mc.min_trials = 300;
+  mc.max_trials = 300;
+  mc.seed = 43;
+  const std::vector<unsigned> ks = {2, 8, 32};
+  const auto curve = estimate_speedup_curve(g, 0, ks, mc);
+  const RegimeFit fit = classify_speedup_regime(curve);
+  EXPECT_EQ(fit.regime, SpeedupRegime::kLinear) << "exponent " << fit.exponent;
+}
+
+TEST(RegimeClassifier, MeasuredBarbellFromCenterIsSuperLinearInflection) {
+  // From the center, going from k=1-ish to k=Θ(log n) multiplies the
+  // speed-up far faster than k itself: the fitted exponent must exceed 1.
+  const Graph g = make_barbell(101);
+  McOptions mc;
+  mc.min_trials = 200;
+  mc.max_trials = 200;
+  mc.seed = 44;
+  const std::vector<unsigned> ks = {2, 8, 32};
+  const auto curve = estimate_speedup_curve(g, barbell_center(101), ks, mc);
+  const RegimeFit fit = classify_speedup_regime(curve);
+  EXPECT_GT(fit.exponent, 1.25) << "exponent " << fit.exponent;
+  EXPECT_EQ(fit.regime, SpeedupRegime::kSuperLinear);
+}
+
+}  // namespace
+}  // namespace manywalks

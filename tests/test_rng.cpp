@@ -1,0 +1,176 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace manywalks {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values for seed 1234567 from the public-domain reference
+  // implementation.
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.next(), 6457827717110365317ULL);
+  EXPECT_EQ(sm.next(), 3203168211198807973ULL);
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Mix64, IsAPureFunction) {
+  EXPECT_EQ(mix64(99), mix64(99));
+  EXPECT_NE(mix64(99), mix64(100));
+}
+
+TEST(Xoshiro, IsDeterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, SeedsProduceDistinctStreams) {
+  Rng a(7);
+  Rng b(8);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GE(differing, 63);
+}
+
+TEST(Xoshiro, JumpChangesState) {
+  Rng a(7);
+  Rng b(7);
+  b.jump();
+  EXPECT_NE(a.state(), b.state());
+  // The jumped stream should not collide with the original in a short
+  // window.
+  std::set<std::uint64_t> seen;
+  Rng c(7);
+  for (int i = 0; i < 1000; ++i) seen.insert(c.next());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(seen.contains(b.next()));
+}
+
+TEST(Xoshiro, LongJumpDiffersFromJump) {
+  Rng a(7);
+  Rng b(7);
+  a.jump();
+  b.long_jump();
+  EXPECT_NE(a.state(), b.state());
+}
+
+TEST(Xoshiro, Uniform01InRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro, Uniform01MeanIsHalf) {
+  Rng rng(3);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform01();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, UniformBelowRespectsBound) {
+  Rng rng(11);
+  for (std::uint32_t bound : {1u, 2u, 3u, 7u, 100u, 1u << 30}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.uniform_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, UniformBelowOneIsAlwaysZero) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Xoshiro, UniformBelowIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr std::uint32_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.uniform_below(kBuckets)];
+  // Chi-square with 9 dof: 99.9th percentile ~ 27.9.
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Xoshiro, UniformBelow64RespectsBound) {
+  Rng rng(17);
+  for (std::uint64_t bound : {1ULL, 5ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.uniform_below64(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(TrialRng, SameInputsSameStream) {
+  Rng a = make_trial_rng(5, 17);
+  Rng b = make_trial_rng(5, 17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(TrialRng, DifferentTrialsDiffer) {
+  Rng a = make_trial_rng(5, 17);
+  Rng b = make_trial_rng(5, 18);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(TrialRng, DifferentSeedsDiffer) {
+  Rng a = make_trial_rng(5, 17);
+  Rng b = make_trial_rng(6, 17);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(TrialRng, ConsecutiveTrialsLookIndependent) {
+  // Means of consecutive trial streams should not correlate.
+  double corr_acc = 0.0;
+  const int pairs = 2000;
+  for (int i = 0; i < pairs; ++i) {
+    Rng a = make_trial_rng(1, static_cast<std::uint64_t>(i));
+    Rng b = make_trial_rng(1, static_cast<std::uint64_t>(i) + 1);
+    corr_acc += (a.uniform01() - 0.5) * (b.uniform01() - 0.5);
+  }
+  EXPECT_NEAR(corr_acc / pairs, 0.0, 0.01);
+}
+
+}  // namespace
+}  // namespace manywalks

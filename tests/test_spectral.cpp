@@ -1,0 +1,113 @@
+#include "linalg/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+
+namespace manywalks {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(SecondEigenvalue, CycleMatchesClosedForm) {
+  // Walk matrix eigenvalues of C_n: cos(2 pi j / n). For odd n the largest
+  // non-trivial |λ| is cos(2 pi / n) ... but the most negative is
+  // cos(pi (n-1)/n) ≈ -cos(pi/n), which has larger modulus for odd n?
+  // |cos(pi (n-1)/n)| = cos(pi/n) > cos(2 pi/n); so λ_norm = cos(pi/n).
+  const Vertex n = 9;
+  const auto result = second_eigenvalue(make_cycle(n));
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.lambda_norm, std::cos(kPi / n), 1e-6);
+}
+
+TEST(SecondEigenvalue, EvenCycleIsBipartite) {
+  // Bipartite graphs have eigenvalue -1: lambda_norm = 1, gap = 0.
+  const auto result = second_eigenvalue(make_cycle(8));
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.lambda_norm, 1.0, 1e-8);
+  EXPECT_NEAR(result.spectral_gap, 0.0, 1e-8);
+}
+
+TEST(SecondEigenvalue, CompleteGraph) {
+  // K_n walk spectrum: {1, -1/(n-1)}.
+  const Vertex n = 12;
+  const auto result = second_eigenvalue(make_complete(n));
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.lambda_norm, 1.0 / (n - 1), 1e-8);
+}
+
+TEST(SecondEigenvalue, CompleteWithLoops) {
+  // Adding one loop per vertex: P = (A + I)/n, spectrum {1, 0}.
+  const auto result = second_eigenvalue(make_complete(8, true));
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.lambda_norm, 0.0, 1e-6);
+}
+
+TEST(SecondEigenvalue, HypercubeIsBipartite) {
+  const auto result = second_eigenvalue(make_hypercube(4));
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.lambda_norm, 1.0, 1e-8);
+}
+
+TEST(SecondEigenvalue, StarIsBipartite) {
+  const auto result = second_eigenvalue(make_star(10));
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.lambda_norm, 1.0, 1e-8);
+}
+
+TEST(SecondEigenvalue, BarbellHasTinyGap) {
+  const auto result = second_eigenvalue(make_barbell(21));
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.lambda_norm, 0.95);  // bottleneck => λ2 near 1
+  EXPECT_LT(result.lambda_norm, 1.0);
+}
+
+TEST(CertifyExpander, MargulisBound) {
+  // Gabber–Galil: all non-trivial |λ(A)| <= 5 sqrt(2) ≈ 7.071 < 8.
+  for (Vertex side : {4u, 8u, 12u}) {
+    const auto cert = certify_expander(make_margulis_expander(side));
+    ASSERT_TRUE(cert.converged) << "side=" << side;
+    EXPECT_EQ(cert.degree, 8u);
+    EXPECT_LE(cert.lambda, 5.0 * std::sqrt(2.0) + 1e-6) << "side=" << side;
+    EXPECT_LT(cert.lambda_ratio, 0.89);
+  }
+}
+
+TEST(CertifyExpander, RandomRegularNearRamanujan) {
+  Rng rng(2024);
+  const Graph g = make_random_regular(300, 8, rng);
+  const auto cert = certify_expander(g);
+  ASSERT_TRUE(cert.converged);
+  // Friedman: λ ≈ 2 sqrt(d-1) ≈ 5.29 w.h.p.; allow generous slack.
+  EXPECT_LT(cert.lambda, 6.5);
+  EXPECT_GT(cert.lambda, 3.0);  // can't beat the Ramanujan bound by much
+}
+
+TEST(CertifyExpander, RejectsIrregularGraphs) {
+  EXPECT_THROW(certify_expander(make_star(5)), std::invalid_argument);
+}
+
+TEST(SecondEigenvalue, TorusMatchesClosedForm) {
+  // 2-D torus C_n x C_n walk eigenvalues: (cos(2πa/n) + cos(2πb/n))/2.
+  // For odd n the positive extreme is (1 + cos(2π/n))/2, but the negative
+  // end a = b = (n-1)/2 gives cos(π(n-1)/n) = -cos(π/n), whose modulus is
+  // larger; hence λ_norm = cos(π/n), same as the odd cycle.
+  const Vertex side = 7;
+  const auto result = second_eigenvalue(make_grid_2d(side));
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.lambda_norm, std::cos(kPi / side), 1e-6);
+}
+
+TEST(SecondEigenvalue, GapOrdersFamiliesCorrectly) {
+  // Expander gap >> torus gap >> cycle gap at comparable sizes.
+  const auto expander = second_eigenvalue(make_margulis_expander(7));   // n=49
+  const auto torus = second_eigenvalue(make_grid_2d(7));                 // n=49
+  const auto cycle = second_eigenvalue(make_cycle(49));
+  EXPECT_GT(expander.spectral_gap, torus.spectral_gap);
+  EXPECT_GT(torus.spectral_gap, cycle.spectral_gap);
+}
+
+}  // namespace
+}  // namespace manywalks

@@ -1,0 +1,103 @@
+// Property-based sweeps over the speed-up itself: invariants that must
+// hold on every family (monotonicity, trivial floors, linearity caps).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/families.hpp"
+#include "mc/estimators.hpp"
+
+namespace manywalks {
+namespace {
+
+McOptions mc_with(std::uint64_t trials, std::uint64_t seed) {
+  McOptions mc;
+  mc.min_trials = trials;
+  mc.max_trials = trials;
+  mc.seed = seed;
+  return mc;
+}
+
+class SpeedupPropertySweep : public ::testing::TestWithParam<GraphFamily> {
+ protected:
+  static constexpr std::uint64_t kTargetN = 96;
+  static constexpr std::uint64_t kTrials = 220;
+};
+
+TEST_P(SpeedupPropertySweep, KCoverTimeIsMonotoneNonIncreasingInK) {
+  const FamilyInstance inst = make_family_instance(GetParam(), kTargetN, 5);
+  const std::vector<unsigned> ks = {1, 2, 4, 8, 16};
+  const auto curve = estimate_speedup_curve(inst.graph, inst.start, ks,
+                                            mc_with(kTrials, 61));
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    // Allow CI-width slack: more walks can never make covering slower.
+    const double slack = curve[i - 1].multi.ci.half_width +
+                         curve[i].multi.ci.half_width;
+    EXPECT_LE(curve[i].multi.ci.mean, curve[i - 1].multi.ci.mean + slack)
+        << inst.name << " k=" << curve[i].k;
+  }
+}
+
+TEST_P(SpeedupPropertySweep, SpeedupIsAtLeastOne) {
+  const FamilyInstance inst = make_family_instance(GetParam(), kTargetN, 6);
+  const auto s = estimate_speedup(inst.graph, inst.start, 8,
+                                  mc_with(kTrials, 62));
+  EXPECT_GT(s.speedup + s.half_width, 1.0) << inst.name;
+}
+
+TEST_P(SpeedupPropertySweep, KCoverRespectsPerRoundInformationFloor) {
+  // k tokens visit at most k new vertices per round, so
+  // C^k >= (n - 1) / k always (the k starts share one vertex).
+  const FamilyInstance inst = make_family_instance(GetParam(), kTargetN, 7);
+  const unsigned k = 16;
+  const auto r = estimate_k_cover_time(inst.graph, inst.start, k,
+                                       mc_with(kTrials, 63));
+  const double floor_rounds =
+      (static_cast<double>(inst.graph.num_vertices()) - 1.0) / k;
+  EXPECT_GE(r.ci.mean + r.ci.half_width, floor_rounds) << inst.name;
+}
+
+TEST_P(SpeedupPropertySweep, NoSuperLinearSpeedupExceptBarbell) {
+  // Conjecture 10 on worst-ish starts: S^k <= ~k everywhere except the
+  // barbell's center start (Thm 7).
+  if (GetParam() == GraphFamily::kBarbell) GTEST_SKIP();
+  const FamilyInstance inst = make_family_instance(GetParam(), kTargetN, 8);
+  const auto s = estimate_speedup(inst.graph, inst.start, 8,
+                                  mc_with(kTrials, 64));
+  EXPECT_LE(s.speedup - 2.0 * s.half_width, 1.5 * 8.0) << inst.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, SpeedupPropertySweep, ::testing::ValuesIn(all_families()),
+    [](const ::testing::TestParamInfo<GraphFamily>& param_info) {
+      std::string name{family_name(param_info.param)};
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(SpeedupProperties, BarbellIsTheSuperLinearException) {
+  const FamilyInstance inst =
+      make_family_instance(GraphFamily::kBarbell, 129, 9);
+  const auto s = estimate_speedup(inst.graph, inst.start, 16,
+                                  mc_with(260, 65));
+  EXPECT_GT(s.speedup, 2.0 * 16.0) << "barbell center start should be "
+                                      "super-linear at k = 16";
+}
+
+TEST(SpeedupProperties, SpeedupCurveSharedBaselineIsConsistent) {
+  // S^k * C^k must equal C for every point (internal consistency of the
+  // shared-baseline implementation).
+  const FamilyInstance inst = make_family_instance(GraphFamily::kGrid2d, 81, 10);
+  const std::vector<unsigned> ks = {2, 4, 8};
+  const auto curve = estimate_speedup_curve(inst.graph, inst.start, ks,
+                                            mc_with(120, 66));
+  for (const auto& p : curve) {
+    EXPECT_NEAR(p.speedup * p.multi.ci.mean, p.single.ci.mean,
+                1e-9 * p.single.ci.mean);
+  }
+}
+
+}  // namespace
+}  // namespace manywalks

@@ -1,0 +1,177 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace manywalks {
+namespace {
+
+TEST(RunningStats, EmptyState) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 4.0, 9.0, 16.0, 25.0, 36.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 36.0);
+  EXPECT_NEAR(s.sum(), 91.0, 1e-9);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.995), 2.575829, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.841344746), 1.0, 1e-5);
+}
+
+TEST(NormalQuantile, RejectsOutOfRange) {
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(-0.5), std::invalid_argument);
+}
+
+TEST(StudentT, ExactSmallDof) {
+  // dof=1 (Cauchy): t_{0.975} = tan(pi * 0.475) = 12.7062.
+  EXPECT_NEAR(student_t_quantile(0.975, 1), 12.7062, 1e-3);
+  // dof=2: 4.30265.
+  EXPECT_NEAR(student_t_quantile(0.975, 2), 4.30265, 1e-4);
+}
+
+TEST(StudentT, TableValues) {
+  EXPECT_NEAR(student_t_quantile(0.975, 5), 2.5706, 2e-3);
+  EXPECT_NEAR(student_t_quantile(0.975, 10), 2.2281, 2e-3);
+  EXPECT_NEAR(student_t_quantile(0.975, 30), 2.0423, 2e-3);
+  EXPECT_NEAR(student_t_quantile(0.95, 10), 1.8125, 2e-3);
+}
+
+TEST(StudentT, ConvergesToNormal) {
+  EXPECT_NEAR(student_t_quantile(0.975, 100000), normal_quantile(0.975), 1e-3);
+}
+
+TEST(StudentT, SymmetricAroundHalf) {
+  EXPECT_NEAR(student_t_quantile(0.3, 7), -student_t_quantile(0.7, 7), 1e-9);
+}
+
+TEST(ConfidenceIntervalTest, ZeroVarianceGivesZeroWidth) {
+  RunningStats s;
+  for (int i = 0; i < 10; ++i) s.add(4.0);
+  const auto ci = mean_confidence_interval(s);
+  EXPECT_EQ(ci.mean, 4.0);
+  EXPECT_EQ(ci.half_width, 0.0);
+  EXPECT_EQ(ci.relative_half_width(), 0.0);
+}
+
+TEST(ConfidenceIntervalTest, MatchesHandComputedT) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  const auto ci = mean_confidence_interval(s, 0.95);
+  // mean 3, sd sqrt(2.5), se sqrt(0.5), t_{0.975,4} = 2.7764.
+  EXPECT_NEAR(ci.mean, 3.0, 1e-12);
+  EXPECT_NEAR(ci.half_width, 2.7764 * std::sqrt(0.5), 5e-3);
+  EXPECT_NEAR(ci.lo(), ci.mean - ci.half_width, 1e-12);
+  EXPECT_NEAR(ci.hi(), ci.mean + ci.half_width, 1e-12);
+}
+
+TEST(ConfidenceIntervalTest, SingleObservationIsInfinite) {
+  RunningStats s;
+  s.add(1.0);
+  const auto ci = mean_confidence_interval(s);
+  EXPECT_TRUE(std::isinf(ci.half_width));
+}
+
+TEST(ConfidenceIntervalTest, WidthShrinksWithMoreData) {
+  RunningStats small;
+  RunningStats big;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = (i % 2 == 0) ? 1.0 : 2.0;
+    if (i < 20) small.add(x);
+    big.add(x);
+  }
+  EXPECT_LT(mean_confidence_interval(big).half_width,
+            mean_confidence_interval(small).half_width);
+}
+
+TEST(QuantileSorted, Endpoints) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(quantile_sorted(xs, 0.0), 1.0);
+  EXPECT_EQ(quantile_sorted(xs, 1.0), 4.0);
+}
+
+TEST(QuantileSorted, LinearInterpolation) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_NEAR(quantile_sorted(xs, 0.25), 2.5, 1e-12);
+  EXPECT_NEAR(quantile_sorted(xs, 0.5), 5.0, 1e-12);
+}
+
+TEST(QuantileSorted, SingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_EQ(quantile_sorted(xs, 0.5), 7.0);
+}
+
+TEST(Quantiles, SortsInput) {
+  const std::vector<double> probs = {0.0, 0.5, 1.0};
+  const auto qs = quantiles({3.0, 1.0, 2.0}, probs);
+  ASSERT_EQ(qs.size(), 3u);
+  EXPECT_EQ(qs[0], 1.0);
+  EXPECT_EQ(qs[1], 2.0);
+  EXPECT_EQ(qs[2], 3.0);
+}
+
+}  // namespace
+}  // namespace manywalks

@@ -1,0 +1,118 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace manywalks {
+namespace {
+
+TEST(FormatDouble, PlainRange) {
+  EXPECT_EQ(format_double(1234.5), "1234");  // 4 significant digits
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(3.14159, 3), "3.14");
+  EXPECT_EQ(format_double(0.0), "0");
+}
+
+TEST(FormatDouble, ScientificOutsideRange) {
+  EXPECT_EQ(format_double(1e9, 3), "1.00e+09");
+  EXPECT_EQ(format_double(1e-6, 3), "1.00e-06");
+}
+
+TEST(FormatDouble, SpecialValues) {
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+TEST(FormatCount, InsertsSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(1000000000ULL), "1,000,000,000");
+}
+
+TEST(FormatMeanPm, CombinesBoth) {
+  EXPECT_EQ(format_mean_pm(100.0, 5.0), "100 ± 5");
+}
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t("My title");
+  t.add_column("name", TextTable::Align::kLeft).add_column("value");
+  t.begin_row().cell("alpha").cell(std::uint64_t{42});
+  t.begin_row().cell("b").cell(std::uint64_t{7});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("My title"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2u);
+}
+
+TEST(TextTableTest, RightAlignmentPadsLeft) {
+  TextTable t;
+  t.add_column("v");  // right-aligned by default
+  t.begin_row().cell(std::uint64_t{1});
+  t.begin_row().cell(std::uint64_t{100});
+  const std::string out = t.str();
+  // The shorter value must be right-aligned under the longer one.
+  EXPECT_NE(out.find("  1\n"), std::string::npos);
+}
+
+TEST(TextTableTest, NegativeNumbersFormatted) {
+  TextTable t;
+  t.add_column("v");
+  t.begin_row().cell(std::int64_t{-1234});
+  EXPECT_NE(t.str().find("-1,234"), std::string::npos);
+}
+
+TEST(TextTableTest, RuleInsertsSeparator) {
+  TextTable t;
+  t.add_column("v");
+  t.begin_row().cell("a");
+  t.rule();
+  t.begin_row().cell("b");
+  const std::string out = t.str();
+  // Header rule + mid rule = at least two dashed lines.
+  std::size_t dashes = 0;
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.find_first_not_of('-') == std::string::npos)
+      ++dashes;
+  }
+  EXPECT_GE(dashes, 2u);
+}
+
+TEST(TextTableTest, TooManyCellsThrows) {
+  TextTable t;
+  t.add_column("v");
+  t.begin_row().cell("x");
+  EXPECT_THROW(t.cell("y"), std::invalid_argument);
+}
+
+TEST(TextTableTest, CellBeforeRowThrows) {
+  TextTable t;
+  t.add_column("v");
+  EXPECT_THROW(t.cell("x"), std::invalid_argument);
+}
+
+TEST(TextTableTest, ColumnsAfterRowsThrow) {
+  TextTable t;
+  t.add_column("v");
+  t.begin_row().cell("x");
+  EXPECT_THROW(t.add_column("w"), std::invalid_argument);
+}
+
+TEST(TextTableTest, StreamOperator) {
+  TextTable t;
+  t.add_column("v");
+  t.begin_row().cell("z");
+  std::ostringstream os;
+  os << t;
+  EXPECT_NE(os.str().find('z'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manywalks

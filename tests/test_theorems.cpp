@@ -1,0 +1,271 @@
+// Integration tests: miniature versions of the paper's theorems. Each test
+// runs the actual experiment pipeline at reduced scale and asserts the
+// qualitative claim (and, where the paper gives explicit constants, the
+// quantitative bound). Seeds are fixed — results are deterministic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiments.hpp"
+#include "graph/generators.hpp"
+#include "linalg/markov.hpp"
+#include "linalg/spectral.hpp"
+#include "theory/bounds.hpp"
+#include "theory/closed_forms.hpp"
+#include "theory/exact.hpp"
+
+namespace manywalks {
+namespace {
+
+McOptions mc_with(std::uint64_t trials, std::uint64_t seed) {
+  McOptions mc;
+  mc.min_trials = trials;
+  mc.max_trials = trials;
+  mc.seed = seed;
+  return mc;
+}
+
+// --- Theorem 6: cycle speed-up is Θ(log k) ---------------------------------
+
+TEST(Theorem6, CycleSpeedupIsLogarithmic) {
+  const Vertex n = 65;
+  const Graph g = make_cycle(n);
+  const std::vector<unsigned> ks = {4, 16, 64};
+  const auto curve = estimate_speedup_curve(g, 0, ks, mc_with(800, 600));
+
+  for (const auto& point : curve) {
+    // Lemma 22 ⇒ S^k ≥ ln(k)/4; Lemma 21 ⇒ S^k ≤ 8 ln(8k).
+    EXPECT_GE(point.speedup, std::log(static_cast<double>(point.k)) / 4.0)
+        << "k=" << point.k;
+    EXPECT_LE(point.speedup, 8.0 * std::log(8.0 * point.k)) << "k=" << point.k;
+  }
+  // Decidedly sub-linear: S^64 must be far below 64 (log 64 ≈ 4.2).
+  EXPECT_LT(curve.back().speedup, 16.0);
+  // But still increasing in k.
+  EXPECT_GT(curve[2].speedup, curve[0].speedup);
+}
+
+TEST(Theorem6, Lemma21And22SandwichMeasuredKCover) {
+  const Vertex n = 65;
+  const Graph g = make_cycle(n);
+  for (unsigned k : {16u, 64u}) {
+    const auto ck = estimate_k_cover_time(g, 0, k, mc_with(800, 601 + k));
+    EXPECT_GE(ck.ci.mean, cycle_k_cover_lower(n, k)) << "k=" << k;
+    // Lemma 22 is asymptotic in k; allow 25% slack at these sizes.
+    EXPECT_LE(ck.ci.mean, 1.25 * cycle_k_cover_upper(n, k)) << "k=" << k;
+  }
+}
+
+// --- Theorem 7 / Figure 1: barbell exponential speed-up ---------------------
+
+TEST(Theorem7, BarbellCollapsesWithLogNWalks) {
+  const Vertex n = 101;
+  const Graph g = make_barbell(n);
+  const Vertex center = barbell_center(n);
+  const auto k = static_cast<unsigned>(
+      std::ceil(20.0 * std::log(static_cast<double>(n))));
+
+  const auto single = estimate_cover_time(g, center, mc_with(400, 700));
+  const auto multi = estimate_k_cover_time(g, center, k, mc_with(400, 701));
+
+  const double nn = static_cast<double>(n);
+  // C = Θ(n²): between n²/40 and n².
+  EXPECT_GT(single.ci.mean, nn * nn / 40.0);
+  EXPECT_LT(single.ci.mean, nn * nn);
+  // C^k = O(n) with a modest constant.
+  EXPECT_LT(multi.ci.mean, 40.0 * nn);
+  // Exponential speed-up: k = 20 ln n walks beat the single walk by >> k...
+  // at n=101 the speed-up must already exceed 10.
+  EXPECT_GT(single.ci.mean / multi.ci.mean, 10.0);
+}
+
+TEST(Theorem7, SpeedupGrowsFasterThanLinearInN) {
+  // C/n² stays ~constant while C^k/n stays ~constant ⇒ speed-up ~ n.
+  const std::vector<Vertex> ns = {41, 81};
+  ExperimentOptions options;
+  options.mc = mc_with(300, 702);
+  const auto result = run_barbell_experiment(ns, 20.0, options);
+  ASSERT_EQ(result.points.size(), 2u);
+  const double growth = result.points[1].speedup / result.points[0].speedup;
+  // n roughly doubled; speed-up should grow noticeably (≥1.3x), far beyond
+  // what a k-bounded speed-up would allow if it were capped at constant.
+  EXPECT_GT(growth, 1.3);
+}
+
+// --- Lemma 12: clique speed-up is exactly linear ----------------------------
+
+TEST(Lemma12, CliqueWithLoopsSpeedupIsK) {
+  const Vertex n = 64;
+  const Graph g = make_complete(n, /*with_self_loops=*/true);
+  const std::vector<unsigned> ks = {2, 4, 8};
+  const auto curve = estimate_speedup_curve(g, 0, ks, mc_with(1500, 703));
+  for (const auto& point : curve) {
+    EXPECT_NEAR(point.speedup, static_cast<double>(point.k),
+                0.2 * point.k + 0.3)
+        << "k=" << point.k;
+  }
+}
+
+// --- Theorems 3/18: expanders give Ω(k) up to k = n --------------------------
+
+TEST(Theorem18, MargulisExpanderLinearSpeedup) {
+  const Graph g = make_margulis_expander(12);  // n = 144
+  // Certify the instance is a genuine (n, 8, λ) expander first.
+  const auto cert = certify_expander(g);
+  ASSERT_TRUE(cert.converged);
+  ASSERT_LT(cert.lambda_ratio, 0.89);
+
+  const std::vector<unsigned> ks = {4, 16, 64};
+  const auto curve = estimate_speedup_curve(g, 0, ks, mc_with(700, 704));
+  for (const auto& point : curve) {
+    EXPECT_GE(point.speedup, 0.25 * point.k) << "k=" << point.k;
+    // Conjecture 10 direction: speed-up should not exceed ~k either.
+    EXPECT_LE(point.speedup, 1.6 * point.k) << "k=" << point.k;
+  }
+}
+
+TEST(Theorem18, RandomRegularExpanderLinearSpeedup) {
+  Rng rng(705);
+  const Graph g = make_random_regular(128, 8, rng);
+  const auto curve =
+      estimate_speedup_curve(g, 0, std::vector<unsigned>{8, 32},
+                             mc_with(700, 706));
+  for (const auto& point : curve) {
+    EXPECT_GE(point.speedup, 0.25 * point.k) << "k=" << point.k;
+  }
+}
+
+// --- Theorem 4: Matthews-tight families, linear for k <= log n ---------------
+
+TEST(Theorem4, HypercubeLinearForSmallK) {
+  const Graph g = make_hypercube(8);  // n = 256, log n ≈ 5.5
+  const std::vector<unsigned> ks = {2, 4};
+  const auto curve = estimate_speedup_curve(g, 0, ks, mc_with(900, 707));
+  for (const auto& point : curve) {
+    EXPECT_GE(point.speedup, 0.6 * point.k) << "k=" << point.k;
+  }
+}
+
+TEST(Theorem4, Torus2dLinearForSmallK) {
+  const Graph g = make_grid_2d(15);  // n = 225, log n ≈ 5.4
+  const std::vector<unsigned> ks = {2, 4};
+  const auto curve = estimate_speedup_curve(g, 0, ks, mc_with(900, 708));
+  for (const auto& point : curve) {
+    EXPECT_GE(point.speedup, 0.6 * point.k) << "k=" << point.k;
+  }
+}
+
+// --- Theorem 8: the 2-D grid has both regimes --------------------------------
+
+TEST(Theorem8, GridSpeedupDegradesAtLargeK) {
+  const Graph g = make_grid_2d(15);  // n = 225; log n ≈ 5.4, log³n ≈ 160
+  const std::vector<unsigned> ks = {4, 160};
+  const auto curve = estimate_speedup_curve(g, 0, ks, mc_with(900, 709));
+  const double small_k_eff = curve[0].speedup / 4.0;
+  const double large_k_eff = curve[1].speedup / 160.0;
+  // Per-walk efficiency must collapse at k >= log³ n.
+  EXPECT_GT(small_k_eff, 0.6);
+  EXPECT_LT(large_k_eff, 0.45);
+  EXPECT_LT(large_k_eff, 0.6 * small_k_eff);
+}
+
+// --- Theorem 13 (Baby Matthews) ----------------------------------------------
+
+TEST(Theorem13, MeasuredKCoverRespectsBound) {
+  struct Case {
+    Graph graph;
+    Vertex start;
+    const char* name;
+  };
+  const Case cases[] = {
+      {make_cycle(33), 0, "cycle33"},
+      {make_complete(64), 0, "complete64"},
+      {make_grid_2d(7), 0, "grid7x7"},
+      {make_hypercube(6), 0, "hypercube64"},
+  };
+  std::uint64_t seed = 710;
+  for (const Case& c : cases) {
+    const double h_max = hitting_extremes(c.graph).h_max;
+    const std::uint64_t n = c.graph.num_vertices();
+    const auto max_k = static_cast<unsigned>(
+        std::max(2.0, std::floor(std::log(static_cast<double>(n)))));
+    for (unsigned k : {2u, max_k}) {
+      const auto ck =
+          estimate_k_cover_time(c.graph, c.start, k, mc_with(500, seed++));
+      EXPECT_LE(ck.ci.mean, baby_matthews_bound(h_max, n, k))
+          << c.name << " k=" << k;
+    }
+  }
+}
+
+// --- Theorem 24 / Corollary 25: grid lower bound -----------------------------
+
+TEST(Theorem24, TorusKCoverAboveProjectionBound) {
+  const Vertex side = 15;
+  const Graph g = make_grid_2d(side);
+  const std::uint64_t n = g.num_vertices();
+  std::uint64_t seed = 720;
+  for (unsigned k : {2u, 8u, 32u}) {
+    const auto ck = estimate_k_cover_time(g, 0, k, mc_with(400, seed++));
+    EXPECT_GE(ck.ci.mean, grid_k_cover_lower(n, 2, k)) << "k=" << k;
+  }
+}
+
+// --- Theorem 9: mixing-time bound --------------------------------------------
+
+TEST(Theorem9, SpeedupBeatsMixingReference) {
+  const Graph g = make_margulis_expander(10);  // n = 100
+  MixingOptions mix_options;
+  mix_options.sources = {0};
+  mix_options.max_steps = 100000;
+  const auto mixing = mixing_time(g, mix_options);
+  ASSERT_TRUE(mixing.converged);
+
+  std::uint64_t seed = 730;
+  for (unsigned k : {8u, 32u}) {
+    const auto s = estimate_speedup(g, 0, k, mc_with(600, seed++));
+    const double reference = theorem9_speedup_reference(
+        k, static_cast<double>(mixing.time), g.num_vertices());
+    EXPECT_GE(s.speedup, reference) << "k=" << k;
+  }
+}
+
+// --- Theorem 5: the gap predicts the linear regime ----------------------------
+
+TEST(Theorem5, GapBoundedFamiliesKeepNearLinearSpeedup) {
+  // On the complete graph g(n) = H_{n-1} ≈ ln n; for k ≤ g^(1-ε) the
+  // speed-up must stay ≥ k - o(k). Use k = 2 ≤ g^0.7 with n = 256 (g ≈ 6.1).
+  const Graph g = make_complete(256);
+  const double gap = cover_hitting_gap(complete_cover_time(256),
+                                       complete_hitting_time(256));
+  ASSERT_GT(theorem5_max_k(gap, 0.3), 2.0);
+  const auto s = estimate_speedup(g, 0, 2, mc_with(1200, 740));
+  EXPECT_GT(s.speedup, 1.7);
+}
+
+// --- Conjecture 11: S^k ≥ Ω(log k) everywhere we look -------------------------
+
+TEST(Conjecture11, LogKLowerBoundAcrossFamilies) {
+  std::uint64_t seed = 750;
+  const unsigned k = 16;
+  const double log_k = std::log(16.0);
+  struct Case {
+    Graph graph;
+    Vertex start;
+    const char* name;
+  };
+  const Case cases[] = {
+      {make_cycle(65), 0, "cycle"},
+      {make_path(40), 0, "path"},
+      {make_star(64), 0, "star"},
+      {make_lollipop(36), 0, "lollipop"},
+      {make_balanced_tree(2, 5), 32, "tree"},
+  };
+  for (const Case& c : cases) {
+    const auto s = estimate_speedup(c.graph, c.start, k, mc_with(500, seed++));
+    EXPECT_GE(s.speedup, log_k / 4.0) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace manywalks

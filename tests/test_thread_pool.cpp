@@ -1,0 +1,112 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace manywalks {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAfterWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, 1000, [&hits](std::uint64_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  parallel_for(pool, 5, 5, [&counter](std::uint64_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ParallelFor, RespectsGrain) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(
+      pool, 0, 100, [&sum](std::uint64_t i) { sum.fetch_add(i); },
+      /*grain=*/16);
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 100,
+                   [](std::uint64_t i) {
+                     if (i == 42) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // Pool must still be usable afterwards.
+  std::atomic<int> counter{0};
+  parallel_for(pool, 0, 10, [&counter](std::uint64_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelFor, WorksWithSingleWorker) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::mutex m;
+  parallel_for(pool, 0, 50, [&](std::uint64_t i) {
+    std::lock_guard lock(m);
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order.size(), 50u);
+}
+
+TEST(ParallelFor, LargeRangeSumsCorrectly) {
+  ThreadPool pool(8);
+  std::atomic<std::uint64_t> sum{0};
+  const std::uint64_t n = 100000;
+  parallel_for(
+      pool, 0, n, [&sum](std::uint64_t i) { sum.fetch_add(i); },
+      /*grain=*/512);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(DefaultThreadCount, IsPositive) { EXPECT_GE(default_thread_count(), 1u); }
+
+}  // namespace
+}  // namespace manywalks
