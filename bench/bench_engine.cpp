@@ -1,18 +1,72 @@
 // P1 — google-benchmark suite for the simulation engine itself: raw walk
-// stepping throughput per family, k-walk round cost, cover-time sampling,
-// and Monte-Carlo thread scaling. These numbers justify the experiment
+// stepping throughput per family, the seed per-call cover path vs the
+// batched WalkEngine hot path (steps/second), k-walk round cost, and
+// Monte-Carlo thread scaling. These numbers justify the experiment
 // harness's feasible scales (steps/second on a laptop).
+//
+// The binary has its own main: before running benchmarks it verifies that
+// the batched engine samples the SAME cover-time distribution, trial by
+// trial, as the seed per-call path under make_trial_rng streams.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 #include "core/families.hpp"
 #include "graph/generators.hpp"
 #include "mc/estimators.hpp"
 #include "walk/cover.hpp"
+#include "walk/engine.hpp"
+#include "walk/visit_tracker.hpp"
 #include "walk/walker.hpp"
 
 namespace {
 
 using namespace manywalks;
+
+// ---------------------------------------------------------------------------
+// Reference: the seed's per-call cover loop (pre-WalkEngine), kept verbatim
+// as the baseline side of the steps/second comparison.
+// ---------------------------------------------------------------------------
+CoverSample seed_path_cover(const Graph& g, std::span<const Vertex> starts,
+                            Vertex target, Rng& rng,
+                            const CoverOptions& options = {}) {
+  thread_local VisitTracker tracker(0);
+  if (tracker.num_vertices() != g.num_vertices()) {
+    tracker = VisitTracker(g.num_vertices());
+  } else {
+    tracker.reset();
+  }
+
+  std::vector<Vertex> tokens(starts.begin(), starts.end());
+  for (Vertex s : tokens) tracker.visit(s);
+  CoverSample sample;
+  if (tracker.num_visited() >= target) {
+    sample.covered = true;
+    return sample;
+  }
+
+  const bool lazy = options.laziness > 0.0;
+  std::uint64_t t = 0;
+  while (t < options.step_cap) {
+    ++t;
+    for (Vertex& token : tokens) {
+      token = lazy ? step_walk_lazy(g, token, rng, options.laziness)
+                   : step_walk(g, token, rng);
+      tracker.visit(token);
+    }
+    if (tracker.num_visited() >= target) {
+      sample.steps = t;
+      sample.covered = true;
+      return sample;
+    }
+  }
+  sample.steps = options.step_cap;
+  sample.covered = false;
+  return sample;
+}
 
 void BM_StepThroughput(benchmark::State& state, const Graph& g) {
   Rng rng(1);
@@ -56,6 +110,58 @@ BENCHMARK(BM_StepGrid2d);
 BENCHMARK(BM_StepHypercube);
 BENCHMARK(BM_StepMargulis);
 BENCHMARK(BM_StepComplete);
+
+// ---------------------------------------------------------------------------
+// Seed per-call path vs batched WalkEngine, k-token partial-cover trials on
+// the three headline instances. items/second == token-steps/second, so the
+// two sides are directly comparable.
+// ---------------------------------------------------------------------------
+constexpr unsigned kTokens = 16;
+
+/// Smaller cycle than the stepping-throughput instance: cycle cover is
+/// Theta(n^2), and 2^16 vertices would leave the benchmark a single
+/// multi-second iteration.
+const Graph& cover_cycle_graph() {
+  static const Graph g = make_cycle(1 << 13);
+  return g;
+}
+
+void BM_CoverPath(benchmark::State& state, const Graph& g, bool batched) {
+  const std::vector<Vertex> starts(kTokens, 0);
+  // 90% coverage keeps per-trial work bounded (the last few vertices
+  // dominate full cover times) while still exercising the real workload.
+  const auto target =
+      static_cast<Vertex>(static_cast<double>(g.num_vertices()) * 0.9);
+  Rng rng(7);
+  WalkEngine engine(g);
+  std::uint64_t token_steps = 0;
+  for (auto _ : state) {
+    CoverSample sample;
+    if (batched) {
+      engine.reset(starts);
+      sample = engine.run_until_visited(target, rng);
+    } else {
+      sample = seed_path_cover(g, starts, target, rng);
+    }
+    benchmark::DoNotOptimize(sample.steps);
+    token_steps += sample.steps * kTokens;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(token_steps));
+}
+
+void BM_SeedPathCycle(benchmark::State& state) { BM_CoverPath(state, cover_cycle_graph(), false); }
+void BM_EngineCycle(benchmark::State& state) { BM_CoverPath(state, cover_cycle_graph(), true); }
+void BM_SeedPathGrid2d(benchmark::State& state) { BM_CoverPath(state, grid_graph(), false); }
+void BM_EngineGrid2d(benchmark::State& state) { BM_CoverPath(state, grid_graph(), true); }
+void BM_SeedPathExpander(benchmark::State& state) { BM_CoverPath(state, margulis_graph(), false); }
+void BM_EngineExpander(benchmark::State& state) { BM_CoverPath(state, margulis_graph(), true); }
+
+BENCHMARK(BM_SeedPathCycle);
+BENCHMARK(BM_EngineCycle);
+BENCHMARK(BM_SeedPathGrid2d);
+BENCHMARK(BM_EngineGrid2d);
+BENCHMARK(BM_SeedPathExpander);
+BENCHMARK(BM_EngineExpander);
 
 /// Cost of one k-walk round (k token steps + visit tracking) vs k.
 void BM_KWalkRound(benchmark::State& state) {
@@ -107,4 +213,129 @@ void BM_McThreadScaling(benchmark::State& state) {
 }
 BENCHMARK(BM_McThreadScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// ---------------------------------------------------------------------------
+// Pre-benchmark check: both paths must sample identical cover-time
+// distributions under the deterministic make_trial_rng(seed, trial) streams.
+// ---------------------------------------------------------------------------
+bool verify_identical_samples() {
+  struct Instance {
+    const char* name;
+    const Graph& g;
+  };
+  const Graph cycle = make_cycle(256);
+  const Graph grid = make_grid_2d(16);
+  const Instance instances[] = {
+      {"cycle", cycle},
+      {"grid2d", grid},
+      {"expander", margulis_graph()},
+  };
+  constexpr std::uint64_t kSeed = 0xbe7c4ULL;
+  constexpr std::uint64_t kTrials = 32;
+  bool ok = true;
+  for (const auto& [name, g] : instances) {
+    for (unsigned k : {1u, 8u}) {
+      const std::vector<Vertex> starts(k, 0);
+      WalkEngine engine(g);
+      for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+        Rng seed_rng = make_trial_rng(kSeed, trial);
+        Rng engine_rng = make_trial_rng(kSeed, trial);
+        const CoverSample a =
+            seed_path_cover(g, starts, g.num_vertices(), seed_rng);
+        engine.reset(starts);
+        const CoverSample b =
+            engine.run_until_visited(g.num_vertices(), engine_rng);
+        if (a.steps != b.steps || a.covered != b.covered ||
+            seed_rng.state() != engine_rng.state()) {
+          std::fprintf(stderr,
+                       "MISMATCH %s k=%u trial=%llu: seed-path %llu vs "
+                       "engine %llu\n",
+                       name, k, static_cast<unsigned long long>(trial),
+                       static_cast<unsigned long long>(a.steps),
+                       static_cast<unsigned long long>(b.steps));
+          ok = false;
+        }
+      }
+    }
+  }
+  if (ok) {
+    std::printf(
+        "verified: seed-path and WalkEngine cover-time samples identical "
+        "(3 instances x k in {1,8} x %llu trials)\n",
+        static_cast<unsigned long long>(kTrials));
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Paired steps/second comparison: alternates seed-path and engine trials so
+// machine-load drift hits both sides equally, and feeds both sides the same
+// per-trial RNG streams so they do byte-identical walk work.
+// ---------------------------------------------------------------------------
+void report_paired_throughput() {
+  struct Instance {
+    const char* name;
+    const Graph& g;
+  };
+  const Instance instances[] = {
+      {"cycle", cover_cycle_graph()},
+      {"grid2d", grid_graph()},
+      {"expander", margulis_graph()},
+  };
+  constexpr std::uint64_t kSeed = 0x9a17edULL;
+  constexpr std::uint64_t kTrials = 24;
+
+  std::printf("\npaired cover-trial throughput, k=%u tokens, 90%% coverage "
+              "(%llu alternating trials per path):\n",
+              kTokens, static_cast<unsigned long long>(kTrials));
+  std::printf("%-10s %18s %18s %8s\n", "instance", "seed-path steps/s",
+              "engine steps/s", "ratio");
+  for (const auto& [name, g] : instances) {
+    const std::vector<Vertex> starts(kTokens, 0);
+    const auto target =
+        static_cast<Vertex>(static_cast<double>(g.num_vertices()) * 0.9);
+    WalkEngine engine(g);
+    // Warm both paths (page in the scratch arrays) outside the timing.
+    {
+      Rng warm(kSeed);
+      seed_path_cover(g, starts, target, warm);
+      Rng warm2(kSeed);
+      engine.reset(starts);
+      engine.run_until_visited(target, warm2);
+    }
+    std::uint64_t seed_steps = 0, engine_steps = 0;
+    double seed_ns = 0.0, engine_ns = 0.0;
+    using clock = std::chrono::steady_clock;
+    for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+      Rng a = make_trial_rng(kSeed, trial);
+      const auto t0 = clock::now();
+      const CoverSample sa = seed_path_cover(g, starts, target, a);
+      const auto t1 = clock::now();
+      Rng b = make_trial_rng(kSeed, trial);
+      engine.reset(starts);
+      const CoverSample sb = engine.run_until_visited(target, b);
+      const auto t2 = clock::now();
+      seed_steps += sa.steps * kTokens;
+      engine_steps += sb.steps * kTokens;
+      seed_ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+      engine_ns += std::chrono::duration<double, std::nano>(t2 - t1).count();
+    }
+    const double seed_rate = static_cast<double>(seed_steps) / seed_ns * 1e9;
+    const double engine_rate =
+        static_cast<double>(engine_steps) / engine_ns * 1e9;
+    std::printf("%-10s %17.1fM %17.1fM %7.2fx\n", name, seed_rate / 1e6,
+                engine_rate / 1e6, engine_rate / seed_rate);
+  }
+  std::printf("\n");
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  if (!verify_identical_samples()) return EXIT_FAILURE;
+  report_paired_throughput();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return EXIT_FAILURE;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return EXIT_SUCCESS;
+}

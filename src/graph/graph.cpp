@@ -25,25 +25,16 @@ Vertex Graph::edge_multiplicity(Vertex u, Vertex v) const {
 
 Vertex Graph::min_degree() const {
   MW_REQUIRE(num_vertices() > 0, "min_degree of empty graph");
-  Vertex best = degree(0);
-  for (Vertex v = 1; v < num_vertices(); ++v) best = std::min(best, degree(v));
-  return best;
+  return min_degree_;
 }
 
 Vertex Graph::max_degree() const {
   MW_REQUIRE(num_vertices() > 0, "max_degree of empty graph");
-  Vertex best = degree(0);
-  for (Vertex v = 1; v < num_vertices(); ++v) best = std::max(best, degree(v));
-  return best;
+  return max_degree_;
 }
 
 bool Graph::is_regular() const {
-  if (num_vertices() == 0) return true;
-  const Vertex d = degree(0);
-  for (Vertex v = 1; v < num_vertices(); ++v) {
-    if (degree(v) != d) return false;
-  }
-  return true;
+  return num_vertices() == 0 || min_degree_ == max_degree_;
 }
 
 bool Graph::is_simple() const {
@@ -68,9 +59,13 @@ Graph Graph::from_csr(std::vector<std::uint64_t> offsets,
   g.targets_ = std::move(targets);
   const Vertex n = g.num_vertices();
   std::uint64_t loops = 0;
+  Vertex min_deg = n > 0 ? kInvalidVertex : 0;
+  Vertex max_deg = 0;
   for (Vertex v = 0; v < n; ++v) {
     MW_REQUIRE(g.offsets_[v] <= g.offsets_[v + 1], "offsets not monotone");
     const auto row = g.neighbors(v);
+    min_deg = std::min(min_deg, static_cast<Vertex>(row.size()));
+    max_deg = std::max(max_deg, static_cast<Vertex>(row.size()));
     for (std::size_t i = 0; i < row.size(); ++i) {
       MW_REQUIRE(row[i] < n, "target out of range");
       if (validate && i > 0) {
@@ -80,6 +75,8 @@ Graph Graph::from_csr(std::vector<std::uint64_t> offsets,
     }
   }
   g.num_loops_ = loops;
+  g.min_degree_ = min_deg;
+  g.max_degree_ = max_deg;
   if (validate) {
     // Symmetry: multiplicity(u->v) == multiplicity(v->u) for all pairs.
     for (Vertex v = 0; v < n; ++v) {

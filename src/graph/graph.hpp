@@ -67,6 +67,8 @@ class Graph {
   /// the number of self-loop edges at u.
   Vertex edge_multiplicity(Vertex u, Vertex v) const;
 
+  /// Extremal degrees, precomputed at construction (O(1) to query, so
+  /// per-trial walkability checks are free).
   Vertex min_degree() const;
   Vertex max_degree() const;
   /// True when every vertex has the same degree.
@@ -89,6 +91,8 @@ class Graph {
   std::vector<std::uint64_t> offsets_;  // size num_vertices()+1
   std::vector<Vertex> targets_;         // size num_arcs(), each row sorted
   std::uint64_t num_loops_ = 0;
+  Vertex min_degree_ = 0;
+  Vertex max_degree_ = 0;
 };
 
 /// Accumulates edges/arcs, then produces a validated CSR graph.

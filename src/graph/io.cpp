@@ -28,6 +28,11 @@ Graph read_edge_list(std::istream& is) {
   {
     std::istringstream ls(line);
     MW_REQUIRE(static_cast<bool>(ls >> n), "bad vertex count '" << line << "'");
+    std::string trailing;
+    MW_REQUIRE(!(ls >> trailing), "trailing garbage '"
+                                      << trailing
+                                      << "' after vertex count on line 2: '"
+                                      << line << "'");
     MW_REQUIRE(n < kInvalidVertex, "vertex count too large");
   }
   GraphBuilder b(static_cast<Vertex>(n));
@@ -40,6 +45,10 @@ Graph read_edge_list(std::istream& is) {
     std::uint64_t v = 0;
     MW_REQUIRE(static_cast<bool>(ls >> u >> v),
                "bad edge on line " << line_no << ": '" << line << "'");
+    std::string trailing;
+    MW_REQUIRE(!(ls >> trailing), "trailing garbage '"
+                                      << trailing << "' on line " << line_no
+                                      << ": '" << line << "'");
     MW_REQUIRE(u < n && v < n, "edge endpoint out of range on line " << line_no);
     b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
   }

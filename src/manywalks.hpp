@@ -33,6 +33,7 @@
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "walk/cover.hpp"
+#include "walk/engine.hpp"
 #include "walk/hitting.hpp"
 #include "walk/sampling.hpp"
 #include "walk/visit_tracker.hpp"

@@ -67,7 +67,14 @@ TextTable& TextTable::cell(std::string text) {
 }
 
 TextTable& TextTable::cell(std::int64_t value) {
-  if (value < 0) return cell("-" + format_count(static_cast<std::uint64_t>(-value)));
+  // Negate in unsigned space (INT64_MIN-safe) and build the string by
+  // append: prepending via operator+(const char*, string&&) trips GCC 12's
+  // bogus -Wrestrict (PR 105651) under -O2.
+  if (value < 0) {
+    std::string text = "-";
+    text += format_count(0u - static_cast<std::uint64_t>(value));
+    return cell(std::move(text));
+  }
   return cell(format_count(static_cast<std::uint64_t>(value)));
 }
 

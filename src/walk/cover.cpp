@@ -1,60 +1,43 @@
 #include "walk/cover.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "util/check.hpp"
+#include "walk/engine.hpp"
 #include "walk/walker.hpp"
 
 namespace manywalks {
 
 namespace {
 
-/// Shared k-walk loop: advances all tokens round by round until `target`
-/// distinct vertices are visited or the cap is reached.
+/// Reusable per-thread engine: a Monte-Carlo estimate calls these samplers
+/// thousands of times on the same graph (from pool worker threads), and
+/// constructing an engine per call would pay an allocation every trial.
+/// The binding is verified against the graph's live CSR data pointers —
+/// not the Graph's address — so a pointer match means the engine reads
+/// exactly g's current arrays; walkability is still re-validated on every
+/// call (O(1): Graph caches its min degree) in case the allocator handed a
+/// new graph the same blocks.
+WalkEngine& pooled_engine(const Graph& g) {
+  thread_local std::optional<WalkEngine> engine;
+  if (!engine.has_value() || !engine->bound_to(g)) {
+    engine.emplace(g);
+  } else {
+    require_walkable(g);
+  }
+  return *engine;
+}
+
+/// Shared k-walk trial: one engine run until `target` distinct vertices are
+/// visited or the cap is reached.
 CoverSample run_until_visited(const Graph& g, std::span<const Vertex> starts,
                               Vertex target, Rng& rng,
                               const CoverOptions& options) {
-  require_walkable(g);
-  MW_REQUIRE(!starts.empty(), "k-walk needs at least one token");
-  MW_REQUIRE(options.laziness >= 0.0 && options.laziness < 1.0,
-             "laziness must be in [0,1)");
-
-  thread_local VisitTracker tracker(0);
-  if (tracker.num_vertices() != g.num_vertices()) {
-    tracker = VisitTracker(g.num_vertices());
-  } else {
-    tracker.reset();
-  }
-
-  std::vector<Vertex> tokens(starts.begin(), starts.end());
-  for (Vertex s : tokens) {
-    MW_REQUIRE(s < g.num_vertices(), "start vertex out of range");
-    tracker.visit(s);
-  }
-  CoverSample sample;
-  if (tracker.num_visited() >= target) {
-    sample.covered = true;
-    return sample;
-  }
-
-  const bool lazy = options.laziness > 0.0;
-  std::uint64_t t = 0;
-  while (t < options.step_cap) {
-    ++t;
-    for (Vertex& token : tokens) {
-      token = lazy ? step_walk_lazy(g, token, rng, options.laziness)
-                   : step_walk(g, token, rng);
-      tracker.visit(token);
-    }
-    if (tracker.num_visited() >= target) {
-      sample.steps = t;
-      sample.covered = true;
-      return sample;
-    }
-  }
-  sample.steps = options.step_cap;
-  sample.covered = false;
-  return sample;
+  WalkEngine& engine = pooled_engine(g);
+  engine.reset(starts);
+  return engine.run_until_visited(target, rng, options);
 }
 
 }  // namespace
@@ -94,31 +77,24 @@ CoverageCurve sample_coverage_curve(const Graph& g,
                                     std::uint64_t total_steps,
                                     std::uint64_t record_every, Rng& rng,
                                     const CoverOptions& options) {
-  require_walkable(g);
-  MW_REQUIRE(!starts.empty(), "k-walk needs at least one token");
   MW_REQUIRE(record_every >= 1, "record_every must be >= 1");
-
-  VisitTracker tracker(g.num_vertices());
-  std::vector<Vertex> tokens(starts.begin(), starts.end());
-  for (Vertex s : tokens) {
-    MW_REQUIRE(s < g.num_vertices(), "start vertex out of range");
-    tracker.visit(s);
-  }
+  MW_REQUIRE(options.laziness >= 0.0 && options.laziness < 1.0,
+             "laziness must be in [0,1)");
+  WalkEngine& engine = pooled_engine(g);
+  engine.reset(starts);
 
   CoverageCurve curve;
+  curve.truncated = options.step_cap < total_steps;
+  const std::uint64_t last = std::min(total_steps, options.step_cap);
   curve.times.push_back(0);
-  curve.visited.push_back(tracker.num_visited());
-  const bool lazy = options.laziness > 0.0;
-  for (std::uint64_t t = 1; t <= total_steps; ++t) {
-    for (Vertex& token : tokens) {
-      token = lazy ? step_walk_lazy(g, token, rng, options.laziness)
-                   : step_walk(g, token, rng);
-      tracker.visit(token);
-    }
-    if (t % record_every == 0 || t == total_steps) {
-      curve.times.push_back(t);
-      curve.visited.push_back(tracker.num_visited());
-    }
+  curve.visited.push_back(engine.num_visited());
+  std::uint64_t t = 0;
+  while (t < last) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(record_every, last - t);
+    engine.run_for_steps(chunk, rng, options.laziness);
+    t += chunk;
+    curve.times.push_back(t);
+    curve.visited.push_back(engine.num_visited());
   }
   return curve;
 }
@@ -127,17 +103,12 @@ std::vector<std::uint64_t> sample_visit_counts(const Graph& g, Vertex start,
                                                std::uint64_t num_steps,
                                                Rng& rng,
                                                const CoverOptions& options) {
-  require_walkable(g);
-  MW_REQUIRE(start < g.num_vertices(), "start vertex out of range");
+  WalkEngine& engine = pooled_engine(g);
+  const Vertex starts[1] = {start};
+  engine.reset(starts);
   std::vector<std::uint64_t> counts(g.num_vertices(), 0);
-  Vertex v = start;
-  counts[v] = 1;
-  const bool lazy = options.laziness > 0.0;
-  for (std::uint64_t t = 0; t < num_steps; ++t) {
-    v = lazy ? step_walk_lazy(g, v, rng, options.laziness)
-             : step_walk(g, v, rng);
-    ++counts[v];
-  }
+  counts[start] = 1;
+  engine.run_for_steps(num_steps, rng, options.laziness, counts.data());
   return counts;
 }
 

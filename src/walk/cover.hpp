@@ -33,7 +33,9 @@ struct CoverSample {
   bool covered = false;     ///< false iff the cap was hit first
 };
 
-/// One cover-time sample of a single walk from `start`.
+/// One cover-time sample of a single walk from `start`. (All the samplers
+/// here amortize engine construction via a per-thread WalkEngine; callers
+/// needing finer control hold a WalkEngine directly.)
 CoverSample sample_cover_time(const Graph& g, Vertex start, Rng& rng,
                               const CoverOptions& options = {});
 
@@ -59,10 +61,13 @@ CoverSample sample_partial_cover_time(const Graph& g,
 struct CoverageCurve {
   std::vector<std::uint64_t> times;
   std::vector<Vertex> visited;
+  bool truncated = false;  ///< true iff options.step_cap cut the run short
 };
 
 /// Runs a k-walk for `total_steps` rounds recording coverage every
-/// `record_every` rounds (and at t=0 and the final round).
+/// `record_every` rounds (and at t=0 and the final round). If
+/// `options.step_cap` is smaller than `total_steps` the run stops at the
+/// cap and the curve is marked truncated.
 CoverageCurve sample_coverage_curve(const Graph& g,
                                     std::span<const Vertex> starts,
                                     std::uint64_t total_steps,

@@ -1,0 +1,82 @@
+// Batched k-walk engine: the hot path behind every cover-time sampler.
+//
+// The per-step helpers in walker.hpp re-derive degree and neighbor spans
+// through the Graph accessors on every call. WalkEngine instead binds the
+// CSR arrays (row offsets + neighbor targets) once, validates everything
+// up front, and then advances ALL k tokens per round with raw-pointer
+// indexing, a loop-hoisted laziness branch, and a word-level visited
+// scratch that stays cache-resident on large graphs.
+//
+// Determinism contract (tested in tests/test_engine.cpp): for the same Rng
+// stream the engine consumes random draws token by token in exactly the
+// order of the walker.hpp path — one uniform_below(degree) per step, with a
+// preceding uniform01 draw iff laziness > 0 — so sampled cover times are
+// byte-identical to the pre-engine implementation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "walk/cover.hpp"
+#include "walk/visit_tracker.hpp"
+
+namespace manywalks {
+
+class WalkEngine {
+ public:
+  /// Binds to `g` and validates walkability once. The graph's CSR arrays
+  /// must outlive the engine; the engine holds pointers, not a copy.
+  explicit WalkEngine(const Graph& g);
+
+  /// Re-seeds the tokens (each validated against the vertex range) and
+  /// resets the visited scratch; the starts count as visited at t = 0.
+  /// Cheap enough to call once per Monte-Carlo trial.
+  void reset(std::span<const Vertex> starts);
+
+  /// Advances all tokens round by round until `target` distinct vertices
+  /// have been visited or `options.step_cap` rounds have run. A round
+  /// always finishes even if coverage is reached mid-round, matching the
+  /// round-granular timing convention in cover.hpp.
+  CoverSample run_until_visited(Vertex target, Rng& rng,
+                                const CoverOptions& options = {});
+
+  /// Advances all tokens for exactly `rounds` rounds, marking visits. When
+  /// `visit_counts` is non-null it must point at num_vertices() counters;
+  /// each token increments its landing vertex's counter every step.
+  void run_for_steps(std::uint64_t rounds, Rng& rng, double laziness = 0.0,
+                     std::uint64_t* visit_counts = nullptr);
+
+  /// True iff this engine was constructed against exactly g's live CSR
+  /// arrays (compared by data pointer and size, not graph address), so a
+  /// cached engine can never silently run on a different graph.
+  bool bound_to(const Graph& g) const {
+    return row_offsets_ == g.offsets().data() &&
+           neighbors_ == g.targets().data() &&
+           num_vertices_ == g.num_vertices();
+  }
+
+  std::size_t num_tokens() const { return tokens_.size(); }
+  std::span<const Vertex> tokens() const { return tokens_; }
+  Vertex num_vertices() const { return num_vertices_; }
+  Vertex num_visited() const { return tracker_.num_visited(); }
+  bool visited(Vertex v) const { return tracker_.visited(v); }
+
+ private:
+  template <bool kLazy>
+  CoverSample run_until_visited_impl(Vertex target, Rng& rng,
+                                     const CoverOptions& options);
+  template <bool kLazy>
+  void run_for_steps_impl(std::uint64_t rounds, Rng& rng, double laziness,
+                          std::uint64_t* visit_counts);
+
+  const std::uint64_t* row_offsets_;  // |V|+1 entries, from Graph::offsets()
+  const Vertex* neighbors_;           // num_arcs entries, from Graph::targets()
+  Vertex num_vertices_;
+  std::vector<Vertex> tokens_;
+  WordVisitTracker tracker_;
+};
+
+}  // namespace manywalks

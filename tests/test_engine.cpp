@@ -1,0 +1,256 @@
+#include "walk/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "walk/cover.hpp"
+#include "walk/visit_tracker.hpp"
+#include "walk/walker.hpp"
+
+namespace manywalks {
+namespace {
+
+/// Reference implementation: the seed's per-step k-walk loop, kept here as
+/// the oracle for the engine's determinism contract (monte_carlo.hpp: trial
+/// i under master seed s always uses make_trial_rng(s, i) and must see the
+/// same stream regardless of which code path advances the tokens).
+CoverSample reference_cover(const Graph& g, std::span<const Vertex> starts,
+                            Vertex target, Rng& rng,
+                            const CoverOptions& options = {}) {
+  VisitTracker tracker(g.num_vertices());
+  std::vector<Vertex> tokens(starts.begin(), starts.end());
+  for (Vertex s : tokens) tracker.visit(s);
+  CoverSample sample;
+  if (tracker.num_visited() >= target) {
+    sample.covered = true;
+    return sample;
+  }
+  const bool lazy = options.laziness > 0.0;
+  std::uint64_t t = 0;
+  while (t < options.step_cap) {
+    ++t;
+    for (Vertex& token : tokens) {
+      token = lazy ? step_walk_lazy(g, token, rng, options.laziness)
+                   : step_walk(g, token, rng);
+      tracker.visit(token);
+    }
+    if (tracker.num_visited() >= target) {
+      sample.steps = t;
+      sample.covered = true;
+      return sample;
+    }
+  }
+  sample.steps = options.step_cap;
+  sample.covered = false;
+  return sample;
+}
+
+struct Instance {
+  const char* name;
+  Graph g;
+};
+
+std::vector<Instance> test_instances() {
+  std::vector<Instance> instances;
+  instances.push_back({"cycle", make_cycle(64)});
+  instances.push_back({"grid2d", make_grid_2d(8)});
+  instances.push_back({"hypercube", make_hypercube(6)});
+  instances.push_back({"complete", make_complete(32)});
+  instances.push_back({"margulis", make_margulis_expander(8)});
+  return instances;
+}
+
+TEST(WalkEngine, ByteIdenticalToReferenceAcrossTrialStreams) {
+  constexpr std::uint64_t kMasterSeed = 0x5eedULL;
+  constexpr std::uint64_t kTrials = 24;
+  for (const auto& [name, g] : test_instances()) {
+    WalkEngine engine(g);
+    for (unsigned k : {1u, 3u, 16u}) {
+      const std::vector<Vertex> starts(k, 0);
+      for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+        Rng ref_rng = make_trial_rng(kMasterSeed, trial);
+        Rng eng_rng = make_trial_rng(kMasterSeed, trial);
+        const CoverSample expected =
+            reference_cover(g, starts, g.num_vertices(), ref_rng);
+        engine.reset(starts);
+        const CoverSample actual =
+            engine.run_until_visited(g.num_vertices(), eng_rng);
+        ASSERT_EQ(expected.steps, actual.steps)
+            << name << " k=" << k << " trial=" << trial;
+        ASSERT_EQ(expected.covered, actual.covered)
+            << name << " k=" << k << " trial=" << trial;
+        // Same draws consumed, not just same result.
+        ASSERT_EQ(ref_rng.state(), eng_rng.state())
+            << name << " k=" << k << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(WalkEngine, ByteIdenticalToReferenceWithLaziness) {
+  const Graph g = make_grid_2d(8);
+  WalkEngine engine(g);
+  CoverOptions options;
+  options.laziness = 0.3;
+  const std::vector<Vertex> starts(4, 2);
+  for (std::uint64_t trial = 0; trial < 16; ++trial) {
+    Rng ref_rng = make_trial_rng(99, trial);
+    Rng eng_rng = make_trial_rng(99, trial);
+    const CoverSample expected =
+        reference_cover(g, starts, g.num_vertices(), ref_rng, options);
+    engine.reset(starts);
+    const CoverSample actual =
+        engine.run_until_visited(g.num_vertices(), eng_rng, options);
+    EXPECT_EQ(expected.steps, actual.steps) << "trial=" << trial;
+    EXPECT_EQ(ref_rng.state(), eng_rng.state()) << "trial=" << trial;
+  }
+}
+
+TEST(WalkEngine, StepCapTruncates) {
+  const Graph g = make_cycle(1024);  // cover needs ~n^2/2 steps, cap first
+  WalkEngine engine(g);
+  const Vertex starts[1] = {0};
+  CoverOptions options;
+  options.step_cap = 10;
+  Rng rng(1);
+  engine.reset(starts);
+  const CoverSample sample = engine.run_until_visited(g.num_vertices(), rng, options);
+  EXPECT_FALSE(sample.covered);
+  EXPECT_EQ(sample.steps, 10u);
+
+  // A zero cap runs no rounds at all.
+  Rng rng2(1);
+  options.step_cap = 0;
+  engine.reset(starts);
+  const CoverSample none = engine.run_until_visited(g.num_vertices(), rng2, options);
+  EXPECT_FALSE(none.covered);
+  EXPECT_EQ(none.steps, 0u);
+  EXPECT_EQ(rng2.state(), Rng(1).state());  // no draws consumed
+}
+
+TEST(WalkEngine, AlreadyCoveredStartsAgreeAcrossK) {
+  // target <= #distinct starts: covered at t=0 with zero steps and zero RNG
+  // draws, for k = 1 and k > 1 alike.
+  const Graph g = make_complete(8);
+  WalkEngine engine(g);
+  for (unsigned k : {1u, 5u}) {
+    const std::vector<Vertex> starts(k, 3);
+    Rng rng(42);
+    engine.reset(starts);
+    const CoverSample sample = engine.run_until_visited(1, rng);
+    EXPECT_TRUE(sample.covered) << "k=" << k;
+    EXPECT_EQ(sample.steps, 0u) << "k=" << k;
+    EXPECT_EQ(rng.state(), Rng(42).state()) << "k=" << k;
+  }
+}
+
+TEST(WalkEngine, RunForStepsMatchesRoundGranularity) {
+  const Graph g = make_grid_2d(8);
+  const std::vector<Vertex> starts = {0, 5, 9};
+  // Advancing in two chunks must equal one combined run (same RNG stream).
+  WalkEngine a(g);
+  WalkEngine b(g);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  a.reset(starts);
+  a.run_for_steps(10, rng_a);
+  a.run_for_steps(6, rng_a);
+  b.reset(starts);
+  b.run_for_steps(16, rng_b);
+  EXPECT_EQ(rng_a.state(), rng_b.state());
+  ASSERT_EQ(a.tokens().size(), b.tokens().size());
+  for (std::size_t i = 0; i < a.tokens().size(); ++i) {
+    EXPECT_EQ(a.tokens()[i], b.tokens()[i]);
+  }
+  EXPECT_EQ(a.num_visited(), b.num_visited());
+}
+
+TEST(WalkEngine, VisitCountsSumToTokenSteps) {
+  const Graph g = make_cycle(32);
+  WalkEngine engine(g);
+  const std::vector<Vertex> starts = {0, 16};
+  engine.reset(starts);
+  std::vector<std::uint64_t> counts(g.num_vertices(), 0);
+  Rng rng(11);
+  engine.run_for_steps(100, rng, 0.0, counts.data());
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  EXPECT_EQ(total, 200u);  // 2 tokens x 100 rounds
+}
+
+TEST(WalkEngine, ValidatesArguments) {
+  const Graph g = make_cycle(8);
+  WalkEngine engine(g);
+  // Running a never-reset engine must throw, not spin forever on zero
+  // tokens.
+  {
+    Rng rng(3);
+    WalkEngine unseeded(g);
+    EXPECT_THROW(unseeded.run_until_visited(1, rng), std::invalid_argument);
+    EXPECT_THROW(unseeded.run_for_steps(1, rng), std::invalid_argument);
+  }
+  EXPECT_THROW(engine.reset({}), std::invalid_argument);
+  const Vertex bad[1] = {8};
+  EXPECT_THROW(engine.reset(bad), std::invalid_argument);
+
+  const Vertex ok[1] = {0};
+  engine.reset(ok);
+  Rng rng(1);
+  CoverOptions options;
+  options.laziness = 1.0;
+  EXPECT_THROW(engine.run_until_visited(g.num_vertices(), rng, options),
+               std::invalid_argument);
+  EXPECT_THROW(engine.run_for_steps(1, rng, -0.1), std::invalid_argument);
+}
+
+TEST(WalkEngine, BoundToTracksLiveCsrArrays) {
+  const Graph a = make_cycle(16);
+  const Graph b = make_cycle(16);  // same shape, different arrays
+  WalkEngine engine(a);
+  EXPECT_TRUE(engine.bound_to(a));
+  EXPECT_FALSE(engine.bound_to(b));
+}
+
+TEST(CoverSamplers, InterleavedGraphsStayDeterministic) {
+  // The free samplers reuse a per-thread engine; alternating between two
+  // graphs must rebind correctly and reproduce the single-graph sequences.
+  const Graph a = make_cycle(32);
+  const Graph b = make_grid_2d(6);
+  std::vector<std::uint64_t> lone_a, lone_b;
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    Rng rng = make_trial_rng(1, trial);
+    lone_a.push_back(sample_cover_time(a, 0, rng).steps);
+  }
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    Rng rng = make_trial_rng(2, trial);
+    lone_b.push_back(sample_k_cover_time(b, 0, 3, rng).steps);
+  }
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    Rng rng_a = make_trial_rng(1, trial);
+    EXPECT_EQ(sample_cover_time(a, 0, rng_a).steps, lone_a[trial]);
+    Rng rng_b = make_trial_rng(2, trial);
+    EXPECT_EQ(sample_k_cover_time(b, 0, 3, rng_b).steps, lone_b[trial]);
+  }
+}
+
+TEST(WalkEngine, RejectsImpossibleTarget) {
+  const Graph g = make_cycle(8);
+  WalkEngine engine(g);
+  const Vertex starts[1] = {0};
+  engine.reset(starts);
+  Rng rng(9);
+  EXPECT_THROW(engine.run_until_visited(9, rng), std::invalid_argument);
+}
+
+TEST(WalkEngine, RejectsUnwalkableGraph) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);  // vertex 2 isolated
+  const Graph g = builder.build();
+  EXPECT_THROW(WalkEngine{g}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace manywalks

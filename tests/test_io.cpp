@@ -73,6 +73,52 @@ TEST(GraphIo, RejectsOutOfRangeVertex) {
   EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
 }
 
+TEST(GraphIo, RejectsTrailingGarbageOnEdgeLine) {
+  std::stringstream ss("# manywalks-graph 1\n3\n0 1 junk\n");
+  EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+}
+
+TEST(GraphIo, TrailingGarbageErrorNamesTheLine) {
+  std::stringstream ss("# manywalks-graph 1\n3\n0 1\n1 2 0\n");
+  try {
+    read_edge_list(ss);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(GraphIo, RejectsTrailingGarbageAfterVertexCount) {
+  // '3 7' must not silently parse as n=3 (the common "<n> <m>" header of
+  // other edge-list formats is not ours).
+  std::stringstream ss("# manywalks-graph 1\n3 7\n0 1\n");
+  EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsExtraNumericColumn) {
+  // A third numeric field is garbage too — weighted formats are not ours.
+  std::stringstream ss("# manywalks-graph 1\n4\n0 1 2\n");
+  EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+}
+
+TEST(GraphIo, AcceptsTrailingWhitespace) {
+  std::stringstream ss("# manywalks-graph 1\n3\n0 1   \n1 2\t\n");
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphIo, RoundtripSurvivesRereading) {
+  // write -> read -> write -> read is a fixed point.
+  const Graph g = make_grid_2d(4);
+  std::stringstream first;
+  write_edge_list(first, g);
+  const Graph once = read_edge_list(first);
+  std::stringstream second;
+  write_edge_list(second, once);
+  expect_same_graph(g, read_edge_list(second));
+}
+
 TEST(GraphIo, SkipsCommentsAndBlankLines) {
   std::stringstream ss("# manywalks-graph 1\n3\n\n# a comment\n0 1\n1 2\n");
   const Graph g = read_edge_list(ss);

@@ -192,6 +192,30 @@ TEST(CoverageCurveTest, MonotoneAndBounded) {
   }
 }
 
+TEST(CoverageCurveTest, HonorsStepCap) {
+  const Graph g = make_grid_2d(5);
+  const std::vector<Vertex> starts = {0};
+  CoverOptions options;
+  options.step_cap = 120;
+  Rng rng(20);
+  const auto curve = sample_coverage_curve(g, starts, 500, 50, rng, options);
+  EXPECT_TRUE(curve.truncated);
+  EXPECT_EQ(curve.times.back(), 120u);  // stopped at the cap, not at 500
+  // Record points: t=0, the record_every multiples, and the cap itself.
+  const std::vector<std::uint64_t> expected_times = {0, 50, 100, 120};
+  EXPECT_EQ(curve.times, expected_times);
+
+  // An identical run whose cap is not binding is not truncated and consumes
+  // the same RNG stream up to the cap.
+  Rng rng2(20);
+  const auto full = sample_coverage_curve(g, starts, 500, 50, rng2);
+  EXPECT_FALSE(full.truncated);
+  EXPECT_EQ(full.times.back(), 500u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(full.visited[i], curve.visited[i]);
+  }
+}
+
 TEST(VisitCounts, SumEqualsStepsPlusOne) {
   const Graph g = make_cycle(7);
   Rng rng(16);
