@@ -1,84 +1,8 @@
-// Experiment E17 — Aldous' concentration theorem (paper Thm 17, the key
-// technical tool behind Thm 14): if C/h_max -> infinity then tau/C -> 1 in
-// probability, i.e. the cover time concentrates. The harness samples full
-// cover-time distributions and prints the coefficient of variation and the
-// (q10, q50, q90)/mean quantile ratios:
-//   * complete graph / hypercube / torus: gap grows, CV shrinks with n;
-//   * cycle: C/h_max = Θ(1), so tau/C stays spread out at every size.
-#include <cmath>
-#include <iostream>
-#include <vector>
-
-#include "core/families.hpp"
-#include "mc/estimators.hpp"
-#include "theory/exact.hpp"
-#include "util/options.hpp"
-#include "util/table.hpp"
-#include "util/stats.hpp"
-#include "util/timer.hpp"
+// Legacy shim — this experiment now lives in the registry behind the
+// unified CLI; `manywalks run fig_aldous_concentration` is the same thing plus
+// JSON/CSV sinks. Kept so existing workflows and scripts don't break.
+#include "cli/driver.hpp"
 
 int main(int argc, char** argv) {
-  using namespace manywalks;
-
-  bool full = false;
-  std::uint64_t trials = 0;
-  std::uint64_t seed = 17;
-  ArgParser parser("fig_aldous_concentration",
-                   "Thm 17: tau/C concentrates iff C/h_max -> infinity");
-  parser.add_flag("full", &full, "paper-scale sizes")
-      .add_option("trials", &trials, "samples per distribution (0 = preset)")
-      .add_option("seed", &seed, "random seed");
-  if (!parser.parse(argc, argv)) return 1;
-
-  const std::uint64_t samples = trials != 0 ? trials : (full ? 3000 : 600);
-  const std::vector<std::uint64_t> sizes =
-      full ? std::vector<std::uint64_t>{256, 1024, 4096}
-           : std::vector<std::uint64_t>{64, 256, 1024};
-  const std::vector<GraphFamily> families = {
-      GraphFamily::kComplete, GraphFamily::kHypercube, GraphFamily::kGrid2d,
-      GraphFamily::kCycle};
-
-  Stopwatch watch;
-  ThreadPool pool;
-  TextTable table(
-      "Thm 17 — concentration of tau/C (coefficient of variation and "
-      "quantiles)");
-  table.add_column("graph", TextTable::Align::kLeft)
-      .add_column("n")
-      .add_column("mean C")
-      .add_column("CV = sd/mean")
-      .add_column("q10/mean")
-      .add_column("q50/mean")
-      .add_column("q90/mean");
-
-  const std::vector<double> probs = {0.1, 0.5, 0.9};
-  for (GraphFamily family : families) {
-    for (std::uint64_t n : sizes) {
-      const FamilyInstance instance = make_family_instance(family, n, seed);
-      const auto values =
-          collect_cover_samples(instance.graph, instance.start, 1, samples,
-                                mix64(seed ^ (n * 31 +
-                                              static_cast<std::uint64_t>(family))),
-                                {}, &pool);
-      RunningStats stats;
-      for (double v : values) stats.add(v);
-      const auto qs = quantiles(values, probs);
-      table.begin_row();
-      table.cell(instance.name);
-      table.cell(static_cast<std::uint64_t>(instance.graph.num_vertices()));
-      table.cell(format_double(stats.mean()));
-      table.cell(format_double(stats.stddev() / stats.mean(), 3));
-      table.cell(format_double(qs[0] / stats.mean(), 3));
-      table.cell(format_double(qs[1] / stats.mean(), 3));
-      table.cell(format_double(qs[2] / stats.mean(), 3));
-    }
-    table.rule();
-  }
-  std::cout << table << '\n'
-            << "Expected: CV shrinks with n and quantiles squeeze toward 1 "
-               "for the Matthews-tight\nfamilies (C/h_max = Θ(log n) -> ∞), "
-               "but stays Θ(1) on the cycle (C/h_max ≈ 2) —\nexactly the "
-               "dichotomy Thm 17 requires for the Thm 14 proof.\n"
-            << "Elapsed: " << format_double(watch.seconds(), 3) << " s\n";
-  return 0;
+  return manywalks::cli::run_experiment_main("fig_aldous_concentration", argc, argv);
 }

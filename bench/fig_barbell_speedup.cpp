@@ -1,48 +1,8 @@
-// Experiment F1 — Figure 1 / Theorem 7: the barbell B_n with k = 20 ln n
-// walks from the center. The paper proves C_{v_c} = Θ(n²) while
-// C^k_{v_c} = O(n): an exponential (in k) speed-up. The harness sweeps n
-// and prints C/n² (≈ constant) against C^k/n (≈ constant), i.e. the two
-// series whose flatness demonstrates the theorem.
-#include <iostream>
-#include <vector>
-
-#include "core/experiments.hpp"
-#include "util/options.hpp"
-#include "util/timer.hpp"
+// Legacy shim — this experiment now lives in the registry behind the
+// unified CLI; `manywalks run fig_barbell_speedup` is the same thing plus
+// JSON/CSV sinks. Kept so existing workflows and scripts don't break.
+#include "cli/driver.hpp"
 
 int main(int argc, char** argv) {
-  using namespace manywalks;
-
-  bool full = false;
-  std::uint64_t trials = 0;
-  std::uint64_t seed = 3;
-  double c_k = 20.0;  // the paper's k = 20 ln n
-  ArgParser parser("fig_barbell_speedup",
-                   "Thm 7: exponential speed-up on the barbell");
-  parser.add_flag("full", &full, "paper-scale sizes")
-      .add_option("trials", &trials, "override trials (0 = preset)")
-      .add_option("ck", &c_k, "k = ck * ln n")
-      .add_option("seed", &seed, "random seed");
-  if (!parser.parse(argc, argv)) return 1;
-
-  const std::uint64_t target_trials = trials != 0 ? trials : (full ? 400 : 150);
-  std::vector<Vertex> ns = full
-      ? std::vector<Vertex>{101, 201, 401, 801, 1601}
-      : std::vector<Vertex>{51, 101, 201, 401};
-
-  ExperimentOptions options;
-  options.seed = seed;
-  options.mc.min_trials = std::max<std::uint64_t>(target_trials / 4, 8);
-  options.mc.max_trials = target_trials;
-
-  Stopwatch watch;
-  ThreadPool pool;
-  const BarbellResult result = run_barbell_experiment(ns, c_k, options, &pool);
-  std::cout << render_barbell(result) << '\n'
-            << "Paper claim (Thm 7): C/n² stays Θ(1) while C^k/n stays O(1) "
-               "at k = "
-            << c_k << "·ln n —\nthe speed-up column therefore grows ~ n, "
-               "exponential in k.\n"
-            << "Elapsed: " << format_double(watch.seconds(), 3) << " s\n";
-  return 0;
+  return manywalks::cli::run_experiment_main("fig_barbell_speedup", argc, argv);
 }

@@ -1,102 +1,8 @@
-// Experiment E-C — the paper's open problems, Conjectures 10 and 11:
-//   Conjecture 10: S^k(G) ≤ O(k)      for every graph;
-//   Conjecture 11: S^k(G) ≥ Ω(log k)  for every graph (k ≤ n).
-// The harness sweeps ALL fifteen implemented families at several k and
-// reports S^k/k (should stay ≲ 1) and S^k/ln k (should stay ≳ a constant),
-// flagging any would-be counterexample. The barbell-from-center row shows
-// why Conjecture 10 is restricted to worst-case starts: from v_c the
-// speed-up is super-linear (Thm 7), which the paper explicitly notes.
-#include <cmath>
-#include <iostream>
-#include <vector>
-
-#include "core/families.hpp"
-#include "core/regime.hpp"
-#include "mc/estimators.hpp"
-#include "util/options.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
+// Legacy shim — this experiment now lives in the registry behind the
+// unified CLI; `manywalks run fig_conjectures` is the same thing plus
+// JSON/CSV sinks. Kept so existing workflows and scripts don't break.
+#include "cli/driver.hpp"
 
 int main(int argc, char** argv) {
-  using namespace manywalks;
-
-  bool full = false;
-  std::uint64_t n = 0;
-  std::uint64_t trials = 0;
-  std::uint64_t seed = 1011;
-  ArgParser parser("fig_conjectures",
-                   "Conjectures 10/11: log k <= S^k <= k across families");
-  parser.add_flag("full", &full, "paper-scale size")
-      .add_option("n", &n, "target size (0 = preset)")
-      .add_option("trials", &trials, "override trials (0 = preset)")
-      .add_option("seed", &seed, "random seed");
-  if (!parser.parse(argc, argv)) return 1;
-
-  const std::uint64_t target_n = n != 0 ? n : (full ? 512 : 128);
-  const std::uint64_t target_trials = trials != 0 ? trials : (full ? 250 : 100);
-
-  McOptions mc;
-  mc.min_trials = std::max<std::uint64_t>(target_trials / 4, 8);
-  mc.max_trials = target_trials;
-
-  const std::vector<unsigned> ks = {4, 16, 64};
-
-  Stopwatch watch;
-  ThreadPool pool;
-  TextTable table("Conjectures 10 & 11 — S^k across every implemented family");
-  table.add_column("graph", TextTable::Align::kLeft);
-  for (unsigned k : ks) table.add_column("S^" + std::to_string(k));
-  for (unsigned k : ks) table.add_column("S^" + std::to_string(k) + "/k");
-  table.add_column("min S^k/ln k");
-  table.add_column("fit S~k^b");
-  table.add_column("regime", TextTable::Align::kLeft);
-  table.add_column("verdict", TextTable::Align::kLeft);
-
-  // The lollipop's cover time from the clique is Θ(n³); cap its size so the
-  // quick mode stays quick.
-  for (GraphFamily family : all_families()) {
-    std::uint64_t family_n = target_n;
-    if (family == GraphFamily::kLollipop) family_n = std::min<std::uint64_t>(family_n, 96);
-    const FamilyInstance instance = make_family_instance(family, family_n, seed);
-    McOptions local = mc;
-    local.seed =
-        mix64(seed ^ (0xc0371ULL + static_cast<unsigned>(family)));
-    const auto curve = estimate_speedup_curve(instance.graph, instance.start,
-                                              ks, local, {}, &pool);
-    table.begin_row();
-    table.cell(instance.name);
-    double min_log_ratio = 1e300;
-    double max_lin_ratio = 0.0;
-    for (const SpeedupEstimate& p : curve) {
-      table.cell(format_mean_pm(p.speedup, p.half_width, 3));
-      min_log_ratio = std::min(
-          min_log_ratio, p.speedup / std::log(static_cast<double>(p.k)));
-      max_lin_ratio = std::max(max_lin_ratio, p.speedup / p.k);
-    }
-    for (const SpeedupEstimate& p : curve) {
-      table.cell(format_double(p.speedup / p.k, 3));
-    }
-    table.cell(format_double(min_log_ratio, 3));
-    const RegimeFit fit = classify_speedup_regime(curve);
-    table.cell("b=" + format_double(fit.exponent, 2));
-    table.cell(std::string(regime_name(fit.regime)));
-    const bool super_linear = max_lin_ratio > 1.5;
-    const bool sub_log = min_log_ratio < 0.3;
-    if (family == GraphFamily::kBarbell && super_linear) {
-      table.cell("super-linear (Thm 7 start!)");
-    } else if (super_linear) {
-      table.cell("C10 counterexample?!");
-    } else if (sub_log) {
-      table.cell("C11 counterexample?!");
-    } else {
-      table.cell("consistent");
-    }
-  }
-  std::cout << table << '\n'
-            << "Conjecture 10 (S^k = O(k)) and Conjecture 11 (S^k = "
-               "Ω(log k)) should hold on every row;\nthe barbell from its "
-               "center is the paper's own known super-linear exception "
-               "(Thm 7).\n"
-            << "Elapsed: " << format_double(watch.seconds(), 3) << " s\n";
-  return 0;
+  return manywalks::cli::run_experiment_main("fig_conjectures", argc, argv);
 }

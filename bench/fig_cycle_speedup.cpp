@@ -1,87 +1,8 @@
-// Experiment E6 — Theorem 6: on the cycle L_n the speed-up is Θ(log k).
-// Sweeps k over powers of two and prints S^k, the paper's two explicit
-// bounds (Lemma 21 lower / Lemma 22 upper on C^k), and S^k / ln k, whose
-// flatness is the figure's takeaway.
-#include <cmath>
-#include <iostream>
-#include <vector>
-
-#include "core/experiments.hpp"
-#include "graph/generators.hpp"
-#include "theory/bounds.hpp"
-#include "theory/closed_forms.hpp"
-#include "util/options.hpp"
-#include "util/timer.hpp"
+// Legacy shim — this experiment now lives in the registry behind the
+// unified CLI; `manywalks run fig_cycle_speedup` is the same thing plus
+// JSON/CSV sinks. Kept so existing workflows and scripts don't break.
+#include "cli/driver.hpp"
 
 int main(int argc, char** argv) {
-  using namespace manywalks;
-
-  bool full = false;
-  std::uint64_t n = 0;
-  std::uint64_t trials = 0;
-  std::uint64_t kmax = 0;
-  std::uint64_t seed = 6;
-  ArgParser parser("fig_cycle_speedup", "Thm 6: S^k(cycle) = Θ(log k)");
-  parser.add_flag("full", &full, "paper-scale size")
-      .add_option("n", &n, "cycle length (0 = preset)")
-      .add_option("kmax", &kmax, "largest k, power of two (0 = preset)")
-      .add_option("trials", &trials, "override trials (0 = preset)")
-      .add_option("seed", &seed, "random seed");
-  if (!parser.parse(argc, argv)) return 1;
-
-  const auto cycle_n =
-      static_cast<Vertex>(n != 0 ? n : (full ? 1025 : 257));
-  const std::uint64_t k_limit = kmax != 0 ? kmax : (full ? 4096 : 256);
-  const std::uint64_t target_trials = trials != 0 ? trials : (full ? 400 : 150);
-
-  FamilyInstance instance;
-  instance.family = GraphFamily::kCycle;
-  instance.graph = make_cycle(cycle_n);
-  instance.name = "cycle(n=" + std::to_string(cycle_n) + ")";
-  instance.start = 0;
-
-  ExperimentOptions options;
-  options.seed = seed;
-  options.mc.min_trials = std::max<std::uint64_t>(target_trials / 4, 8);
-  options.mc.max_trials = target_trials;
-
-  std::vector<unsigned> ks;
-  for (std::uint64_t k = 1; k <= k_limit; k *= 2) {
-    ks.push_back(static_cast<unsigned>(k));
-  }
-
-  Stopwatch watch;
-  ThreadPool pool;
-  const SpeedupCurveResult curve = run_speedup_curve(instance, ks, options, &pool);
-
-  TextTable table("Thm 6 — cycle " + std::to_string(cycle_n) +
-                  ": speed-up vs log k  (C exact = " +
-                  format_double(cycle_cover_time(cycle_n)) + ")");
-  table.add_column("k")
-      .add_column("C^k measured")
-      .add_column("Lemma21 lower")
-      .add_column("Lemma22 upper")
-      .add_column("S^k")
-      .add_column("S^k / ln k");
-  for (const SpeedupEstimate& p : curve.points) {
-    table.begin_row();
-    table.cell(static_cast<std::uint64_t>(p.k));
-    table.cell(format_mean_pm(p.multi.ci.mean, p.multi.ci.half_width));
-    table.cell(format_double(cycle_k_cover_lower(cycle_n, p.k)));
-    if (p.k >= 2) {
-      table.cell(format_double(cycle_k_cover_upper(cycle_n, p.k)));
-    } else {
-      table.cell("-");
-    }
-    table.cell(format_mean_pm(p.speedup, p.half_width, 3));
-    table.cell(p.k >= 2 ? format_double(
-                              p.speedup / std::log(static_cast<double>(p.k)), 3)
-                        : "-");
-  }
-  std::cout << table << '\n'
-            << "Paper claim: the last column is Θ(1) — the speed-up grows "
-               "only logarithmically in k\n(the walks race each other "
-               "around the ring). Compare fig_expander_speedup.\n"
-            << "Elapsed: " << format_double(watch.seconds(), 3) << " s\n";
-  return 0;
+  return manywalks::cli::run_experiment_main("fig_cycle_speedup", argc, argv);
 }

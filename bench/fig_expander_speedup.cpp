@@ -1,94 +1,8 @@
-// Experiment E18 — Theorems 3 & 18: on expanders (and the clique) k walks
-// give Ω(k) speed-up for k all the way up to n, not just k ≤ log n.
-// Sweeps k over powers of two up to n on a certified Margulis expander, a
-// random 8-regular graph, and K_n; prints S^k / k (per-walk efficiency),
-// which stays bounded below by a constant.
-#include <cmath>
-#include <iostream>
-#include <vector>
-
-#include "core/experiments.hpp"
-#include "linalg/spectral.hpp"
-#include "util/options.hpp"
-#include "util/timer.hpp"
-
-namespace {
-
-using namespace manywalks;
-
-void run_family(const FamilyInstance& instance, std::uint64_t k_limit,
-                const ExperimentOptions& options, ThreadPool& pool) {
-  std::vector<unsigned> ks;
-  for (std::uint64_t k = 1; k <= k_limit; k *= 4) {
-    ks.push_back(static_cast<unsigned>(k));
-  }
-  const SpeedupCurveResult curve = run_speedup_curve(instance, ks, options, &pool);
-
-  TextTable table(instance.name + " — speed-up up to k ≈ n");
-  table.add_column("k")
-      .add_column("C^k")
-      .add_column("S^k")
-      .add_column("S^k / k (efficiency)");
-  for (const SpeedupEstimate& p : curve.points) {
-    table.begin_row();
-    table.cell(static_cast<std::uint64_t>(p.k));
-    table.cell(format_mean_pm(p.multi.ci.mean, p.multi.ci.half_width));
-    table.cell(format_mean_pm(p.speedup, p.half_width, 3));
-    table.cell(format_double(p.speedup / p.k, 3));
-  }
-  std::cout << table << '\n';
-}
-
-}  // namespace
+// Legacy shim — this experiment now lives in the registry behind the
+// unified CLI; `manywalks run fig_expander_speedup` is the same thing plus
+// JSON/CSV sinks. Kept so existing workflows and scripts don't break.
+#include "cli/driver.hpp"
 
 int main(int argc, char** argv) {
-  bool full = false;
-  std::uint64_t n = 0;
-  std::uint64_t trials = 0;
-  std::uint64_t seed = 18;
-  ArgParser parser("fig_expander_speedup",
-                   "Thms 3/18: linear speed-up on expanders up to k = n");
-  parser.add_flag("full", &full, "paper-scale size")
-      .add_option("n", &n, "target size (0 = preset)")
-      .add_option("trials", &trials, "override trials (0 = preset)")
-      .add_option("seed", &seed, "random seed");
-  if (!parser.parse(argc, argv)) return 1;
-
-  const std::uint64_t target_n = n != 0 ? n : (full ? 1024 : 256);
-  const std::uint64_t target_trials = trials != 0 ? trials : (full ? 300 : 120);
-
-  ExperimentOptions options;
-  options.seed = seed;
-  options.mc.min_trials = std::max<std::uint64_t>(target_trials / 4, 8);
-  options.mc.max_trials = target_trials;
-
-  Stopwatch watch;
-  ThreadPool pool;
-
-  // 1. Margulis expander, certified before measuring.
-  const FamilyInstance margulis =
-      make_family_instance(GraphFamily::kMargulis, target_n, seed);
-  const ExpanderCertificate cert = certify_expander(margulis.graph);
-  std::cout << "Certificate: " << margulis.name << " is an (n, 8, "
-            << format_double(cert.lambda, 4)
-            << ") expander (λ/d = " << format_double(cert.lambda_ratio, 3)
-            << ", Gabber–Galil bound 5√2/8 ≈ 0.884)\n\n";
-  run_family(margulis, margulis.graph.num_vertices(), options, pool);
-
-  // 2. Random 8-regular graph (expander w.h.p.).
-  const FamilyInstance random_regular =
-      make_family_instance(GraphFamily::kRandomRegular, target_n, seed);
-  run_family(random_regular, random_regular.graph.num_vertices(), options,
-             pool);
-
-  // 3. The clique (Thm 3 / Lemma 12 baseline).
-  const FamilyInstance clique =
-      make_family_instance(GraphFamily::kComplete, target_n, seed);
-  run_family(clique, clique.graph.num_vertices(), options, pool);
-
-  std::cout << "Paper claim (Thm 18): the efficiency column S^k/k stays "
-               "Ω(1) for every k ≤ n on\nexpanders — contrast with "
-               "fig_cycle_speedup where it collapses like log(k)/k.\n"
-            << "Elapsed: " << format_double(watch.seconds(), 3) << " s\n";
-  return 0;
+  return manywalks::cli::run_experiment_main("fig_expander_speedup", argc, argv);
 }

@@ -1,81 +1,8 @@
-// Experiment E24 — Theorem 24 / Corollary 25: the projection argument gives
-// C^k(G_{n,d}) ≥ Ω(n^{2/d} / log k) on the d-dimensional torus. The harness
-// measures C^k on 2-D and 3-D tori across k and prints the measured value
-// against the explicit projection bound n^{2/d} / (16 ln 8k) — an
-// unconditional inequality.
-#include <cmath>
-#include <iostream>
-#include <vector>
-
-#include "core/experiments.hpp"
-#include "theory/bounds.hpp"
-#include "util/options.hpp"
-#include "util/timer.hpp"
+// Legacy shim — this experiment now lives in the registry behind the
+// unified CLI; `manywalks run fig_grid_lower_bound` is the same thing plus
+// JSON/CSV sinks. Kept so existing workflows and scripts don't break.
+#include "cli/driver.hpp"
 
 int main(int argc, char** argv) {
-  using namespace manywalks;
-
-  bool full = false;
-  std::uint64_t n = 0;
-  std::uint64_t trials = 0;
-  std::uint64_t seed = 24;
-  ArgParser parser("fig_grid_lower_bound",
-                   "Thm 24: C^k(torus) >= Ω(n^{2/d} / log k)");
-  parser.add_flag("full", &full, "paper-scale size")
-      .add_option("n", &n, "target size (0 = preset)")
-      .add_option("trials", &trials, "override trials (0 = preset)")
-      .add_option("seed", &seed, "random seed");
-  if (!parser.parse(argc, argv)) return 1;
-
-  const std::uint64_t target_n = n != 0 ? n : (full ? 4096 : 441);
-  const std::uint64_t target_trials = trials != 0 ? trials : (full ? 300 : 120);
-
-  ExperimentOptions options;
-  options.seed = seed;
-  options.mc.min_trials = std::max<std::uint64_t>(target_trials / 4, 8);
-  options.mc.max_trials = target_trials;
-
-  const std::vector<unsigned> ks = {2, 8, 32, 128};
-
-  Stopwatch watch;
-  ThreadPool pool;
-  TextTable table("Thm 24 — torus k-cover vs the projection lower bound");
-  table.add_column("graph", TextTable::Align::kLeft)
-      .add_column("d")
-      .add_column("k")
-      .add_column("C^k measured")
-      .add_column("bound n^{2/d}/(16 ln 8k)")
-      .add_column("measured/bound (≥1)");
-
-  bool all_hold = true;
-  for (const auto& [family, d] :
-       std::vector<std::pair<GraphFamily, unsigned>>{
-           {GraphFamily::kGrid2d, 2u}, {GraphFamily::kGrid3d, 3u}}) {
-    const FamilyInstance instance = make_family_instance(family, target_n, seed);
-    const SpeedupCurveResult curve =
-        run_speedup_curve(instance, ks, options, &pool);
-    for (const SpeedupEstimate& p : curve.points) {
-      const double bound =
-          grid_k_cover_lower(instance.graph.num_vertices(), d, p.k);
-      const double ratio = p.multi.ci.mean / bound;
-      all_hold = all_hold && ratio >= 1.0;
-      table.begin_row();
-      table.cell(instance.name);
-      table.cell(static_cast<std::uint64_t>(d));
-      table.cell(static_cast<std::uint64_t>(p.k));
-      table.cell(format_mean_pm(p.multi.ci.mean, p.multi.ci.half_width));
-      table.cell(format_double(bound));
-      table.cell(format_double(ratio, 3));
-    }
-    table.rule();
-  }
-  std::cout << table << '\n'
-            << (all_hold ? "All measured C^k respect the projection lower "
-                           "bound (column ≥ 1). ✓"
-                         : "BOUND VIOLATION — investigate! ✗")
-            << "\nNote: covering the torus requires the projected walk to "
-               "cover a cycle of length n^{1/d}\n(Lemma 21 applied to the "
-               "projection).\n"
-            << "Elapsed: " << format_double(watch.seconds(), 3) << " s\n";
-  return all_hold ? 0 : 1;
+  return manywalks::cli::run_experiment_main("fig_grid_lower_bound", argc, argv);
 }

@@ -1,80 +1,8 @@
-// Experiment E8 — Theorem 8: on the √n x √n torus a single graph exhibits
-// the full spectrum of behaviours — linear speed-up while k ≤ log n, but
-// S^k = o(k) once k ≥ log³ n. The harness measures the per-walk efficiency
-// S^k/k across both regimes and marks the theorem's thresholds.
-#include <cmath>
-#include <iostream>
-#include <vector>
-
-#include "core/experiments.hpp"
-#include "util/options.hpp"
-#include "util/timer.hpp"
+// Legacy shim — this experiment now lives in the registry behind the
+// unified CLI; `manywalks run fig_grid_spectrum` is the same thing plus
+// JSON/CSV sinks. Kept so existing workflows and scripts don't break.
+#include "cli/driver.hpp"
 
 int main(int argc, char** argv) {
-  using namespace manywalks;
-
-  bool full = false;
-  std::uint64_t n = 0;
-  std::uint64_t trials = 0;
-  std::uint64_t seed = 8;
-  ArgParser parser("fig_grid_spectrum",
-                   "Thm 8: linear vs sub-linear regimes on the 2-D torus");
-  parser.add_flag("full", &full, "paper-scale size")
-      .add_option("n", &n, "target size (0 = preset)")
-      .add_option("trials", &trials, "override trials (0 = preset)")
-      .add_option("seed", &seed, "random seed");
-  if (!parser.parse(argc, argv)) return 1;
-
-  const std::uint64_t target_n = n != 0 ? n : (full ? 4096 : 441);
-  const std::uint64_t target_trials = trials != 0 ? trials : (full ? 300 : 150);
-
-  const FamilyInstance instance =
-      make_family_instance(GraphFamily::kGrid2d, target_n, seed);
-  const double log_n =
-      std::log(static_cast<double>(instance.graph.num_vertices()));
-  const double log3_n = log_n * log_n * log_n;
-
-  ExperimentOptions options;
-  options.seed = seed;
-  options.mc.min_trials = std::max<std::uint64_t>(target_trials / 4, 8);
-  options.mc.max_trials = target_trials;
-
-  std::vector<unsigned> ks;
-  for (std::uint64_t k = 1; k <= 4 * static_cast<std::uint64_t>(log3_n);
-       k *= 2) {
-    ks.push_back(static_cast<unsigned>(k));
-  }
-
-  Stopwatch watch;
-  ThreadPool pool;
-  const SpeedupCurveResult curve = run_speedup_curve(instance, ks, options, &pool);
-
-  TextTable table("Thm 8 — " + instance.name + "  (log n = " +
-                  format_double(log_n, 3) + ", log³ n = " +
-                  format_double(log3_n, 3) + ")");
-  table.add_column("k")
-      .add_column("regime", TextTable::Align::kLeft)
-      .add_column("C^k")
-      .add_column("S^k")
-      .add_column("S^k / k");
-  for (const SpeedupEstimate& p : curve.points) {
-    table.begin_row();
-    table.cell(static_cast<std::uint64_t>(p.k));
-    if (p.k <= log_n) {
-      table.cell("k ≤ log n: Ω(k)");
-    } else if (p.k >= log3_n) {
-      table.cell("k ≥ log³ n: o(k)");
-    } else {
-      table.cell("(between)");
-    }
-    table.cell(format_mean_pm(p.multi.ci.mean, p.multi.ci.half_width));
-    table.cell(format_mean_pm(p.speedup, p.half_width, 3));
-    table.cell(format_double(p.speedup / p.k, 3));
-  }
-  std::cout << table << '\n'
-            << "Paper claim (Thm 8): efficiency ≈ 1 in the first regime, "
-               "collapsing toward 0 in the\nlast — one graph shows the "
-               "whole speed-up spectrum.\n"
-            << "Elapsed: " << format_double(watch.seconds(), 3) << " s\n";
-  return 0;
+  return manywalks::cli::run_experiment_main("fig_grid_spectrum", argc, argv);
 }

@@ -1,128 +1,8 @@
-// Experiment E16 — Lemma 16, the paper's main technical tool: a k-walk of
-// length T_c/k + ℓ·T_h covers with probability at least
-// p_c (1 - k (1 - p_h)^ℓ).
-//
-// The harness computes p_h(T_h) EXACTLY (absorbing evolution over every
-// target), estimates p_c(T_c) by Monte Carlo, then measures the actual
-// k-walk cover probability at the lemma's walk length for a grid of (k, ℓ)
-// — the measured column must dominate the bound column.
-#include <cmath>
-#include <iostream>
-#include <vector>
-
-#include "core/families.hpp"
-#include "mc/estimators.hpp"
-#include "theory/exact.hpp"
-#include "theory/finite_time.hpp"
-#include "util/options.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
-
-namespace {
-
-using namespace manywalks;
-
-/// Fraction of trials in which a k-walk from `start` covers within
-/// `length` rounds.
-double measure_cover_probability(const Graph& g, Vertex start, unsigned k,
-                                 std::uint64_t length, std::uint64_t trials,
-                                 std::uint64_t seed, ThreadPool* pool) {
-  McOptions mc;
-  mc.min_trials = trials;
-  mc.max_trials = trials;
-  mc.seed = seed;
-  CoverOptions cover;
-  cover.step_cap = length;
-  const McResult r = run_monte_carlo(
-      [&g, start, k, &cover](std::uint64_t, Rng& rng) {
-        const CoverSample s = sample_k_cover_time(g, start, k, rng, cover);
-        return TrialOutcome{s.covered ? 1.0 : 0.0, false};
-      },
-      mc, pool);
-  return r.ci.mean;
-}
-
-}  // namespace
+// Legacy shim — this experiment now lives in the registry behind the
+// unified CLI; `manywalks run fig_lemma16` is the same thing plus
+// JSON/CSV sinks. Kept so existing workflows and scripts don't break.
+#include "cli/driver.hpp"
 
 int main(int argc, char** argv) {
-  bool full = false;
-  std::uint64_t n = 0;
-  std::uint64_t trials = 0;
-  std::uint64_t seed = 16;
-  ArgParser parser("fig_lemma16",
-                   "Lemma 16: guaranteed k-walk cover probability");
-  parser.add_flag("full", &full, "paper-scale size")
-      .add_option("n", &n, "target size (0 = preset)")
-      .add_option("trials", &trials, "override trials (0 = preset)")
-      .add_option("seed", &seed, "random seed");
-  if (!parser.parse(argc, argv)) return 1;
-
-  const std::uint64_t target_n = n != 0 ? n : (full ? 256 : 100);
-  const std::uint64_t target_trials = trials != 0 ? trials : (full ? 4000 : 1500);
-
-  Stopwatch watch;
-  ThreadPool pool;
-  const FamilyInstance instance =
-      make_family_instance(GraphFamily::kGrid2d, target_n, seed);
-  const Graph& g = instance.graph;
-
-  // Calibrate T_c so that p_c is comfortably large: twice the estimated
-  // cover time.
-  McOptions mc;
-  mc.min_trials = 200;
-  mc.max_trials = 200;
-  mc.seed = mix64(seed ^ 0xcafeULL);
-  const McResult cover_est = estimate_cover_time(g, instance.start, mc, {}, &pool);
-  const auto t_c = static_cast<std::uint64_t>(2.0 * cover_est.ci.mean);
-  const double p_c = measure_cover_probability(g, instance.start, 1, t_c,
-                                               target_trials,
-                                               mix64(seed ^ 0x1ULL), &pool);
-
-  // T_h = 2 h_max gives p_h >= 1/2 by Markov; compute p_h exactly.
-  const double h_max = hitting_extremes(g).h_max;
-  const auto t_h = static_cast<std::uint64_t>(2.0 * h_max);
-  const PairVisitProbability p_h = min_visit_probability_within(g, t_h);
-
-  std::cout << instance.name << ": T_c = " << format_count(t_c)
-            << " with p_c ≈ " << format_double(p_c, 3)
-            << ";  T_h = 2·h_max = " << format_count(t_h)
-            << " with exact p_h = " << format_double(p_h.probability, 3)
-            << " (worst pair " << p_h.from << "→" << p_h.to << ")\n\n";
-
-  TextTable table("Lemma 16 — guaranteed vs measured k-walk cover probability "
-                  "at length T_c/k + ℓ·T_h");
-  table.add_column("k")
-      .add_column("ℓ")
-      .add_column("walk length")
-      .add_column("Lemma 16 bound")
-      .add_column("measured")
-      .add_column("margin");
-
-  bool all_hold = true;
-  for (unsigned k : {2u, 4u, 8u}) {
-    for (unsigned ell : {2u, 3u, 5u}) {
-      const std::uint64_t length = t_c / k + ell * t_h;
-      const double bound = lemma16_cover_probability(p_c, p_h.probability, k, ell);
-      const double measured = measure_cover_probability(
-          g, instance.start, k, length, target_trials,
-          mix64(seed ^ (0x16ULL + k * 31 + ell)), &pool);
-      // Allow three binomial standard errors of slack.
-      const double se = std::sqrt(std::max(measured * (1.0 - measured), 1e-9) /
-                                  static_cast<double>(target_trials));
-      all_hold = all_hold && (measured + 3.0 * se >= bound);
-      table.begin_row();
-      table.cell(static_cast<std::uint64_t>(k));
-      table.cell(static_cast<std::uint64_t>(ell));
-      table.cell(length);
-      table.cell(format_double(bound, 3));
-      table.cell(format_double(measured, 3));
-      table.cell(format_double(measured - bound, 3));
-    }
-  }
-  std::cout << table << '\n'
-            << (all_hold ? "Measured cover probability dominates the Lemma 16 "
-                           "bound everywhere. ✓"
-                         : "BOUND VIOLATION — investigate! ✗")
-            << "\nElapsed: " << format_double(watch.seconds(), 3) << " s\n";
-  return all_hold ? 0 : 1;
+  return manywalks::cli::run_experiment_main("fig_lemma16", argc, argv);
 }

@@ -1,98 +1,8 @@
-// Experiment E13 — Theorems 13/14: the Baby-Matthews bound
-// C^k ≤ (e + o(1))/k · h_max · H_n, with h_max computed EXACTLY via the
-// fundamental matrix. For each family and k the harness prints measured
-// C^k, the rigorous finite-n bound from the Thm 13 proof, the clean
-// asymptotic form, and the Thm 14 reference decomposition. The rigorous
-// bound must never be violated.
-#include <cmath>
-#include <iostream>
-#include <vector>
-
-#include "core/experiments.hpp"
-#include "theory/bounds.hpp"
-#include "theory/exact.hpp"
-#include "util/options.hpp"
-#include "util/timer.hpp"
+// Legacy shim — this experiment now lives in the registry behind the
+// unified CLI; `manywalks run fig_matthews_bounds` is the same thing plus
+// JSON/CSV sinks. Kept so existing workflows and scripts don't break.
+#include "cli/driver.hpp"
 
 int main(int argc, char** argv) {
-  using namespace manywalks;
-
-  bool full = false;
-  std::uint64_t n = 0;
-  std::uint64_t trials = 0;
-  std::uint64_t seed = 13;
-  ArgParser parser("fig_matthews_bounds",
-                   "Thms 13/14: k-walk Matthews bounds as inequalities");
-  parser.add_flag("full", &full, "paper-scale size")
-      .add_option("n", &n, "target size (0 = preset; capped for exact h_max)")
-      .add_option("trials", &trials, "override trials (0 = preset)")
-      .add_option("seed", &seed, "random seed");
-  if (!parser.parse(argc, argv)) return 1;
-
-  // Exact h_max needs the O(n^3) fundamental matrix: cap n at ~1024.
-  const std::uint64_t target_n = n != 0 ? n : (full ? 900 : 225);
-  const std::uint64_t target_trials = trials != 0 ? trials : (full ? 300 : 120);
-
-  McOptions mc;
-  mc.min_trials = std::max<std::uint64_t>(target_trials / 4, 8);
-  mc.max_trials = target_trials;
-  mc.seed = seed;
-
-  const std::vector<GraphFamily> families = {
-      GraphFamily::kComplete, GraphFamily::kHypercube, GraphFamily::kGrid2d,
-      GraphFamily::kMargulis, GraphFamily::kCycle, GraphFamily::kBalancedTree};
-
-  Stopwatch watch;
-  ThreadPool pool;
-  TextTable table(
-      "Thm 13 (Baby Matthews) — C^k vs (e/k)·h_max·H_n with exact h_max");
-  table.add_column("graph", TextTable::Align::kLeft)
-      .add_column("h_max (exact)")
-      .add_column("k")
-      .add_column("C^k measured")
-      .add_column("Thm13 bound")
-      .add_column("C^k/bound (≤1)")
-      .add_column("e/k·h·H_n")
-      .add_column("Thm14 ref");
-
-  bool all_hold = true;
-  for (GraphFamily family : families) {
-    const FamilyInstance instance = make_family_instance(family, target_n, seed);
-    const double h_max = hitting_extremes(instance.graph).h_max;
-    const std::uint64_t nn = instance.graph.num_vertices();
-    const auto log_n = static_cast<unsigned>(
-        std::max(2.0, std::floor(std::log(static_cast<double>(nn)))));
-    const std::vector<unsigned> ks = {1, 2, log_n};
-
-    McOptions local = mc;
-    local.seed = mix64(seed ^ (0x1337 + static_cast<std::uint64_t>(family)));
-    const auto curve =
-        estimate_speedup_curve(instance.graph, instance.start, ks, local, {},
-                               &pool);
-    const double cover = curve.front().single.ci.mean;
-    for (const SpeedupEstimate& p : curve) {
-      const double rigorous = baby_matthews_bound(h_max, nn, p.k);
-      const double asymptotic = baby_matthews_asymptotic(h_max, nn, p.k);
-      const double thm14 = theorem14_reference(
-          cover, h_max, p.k, std::log(std::max(2.0, cover / h_max)));
-      const double ratio = p.multi.ci.mean / rigorous;
-      all_hold = all_hold && ratio <= 1.0;
-      table.begin_row();
-      table.cell(instance.name);
-      table.cell(format_double(h_max));
-      table.cell(static_cast<std::uint64_t>(p.k));
-      table.cell(format_mean_pm(p.multi.ci.mean, p.multi.ci.half_width));
-      table.cell(format_double(rigorous));
-      table.cell(format_double(ratio, 3));
-      table.cell(format_double(asymptotic));
-      table.cell(format_double(thm14));
-    }
-    table.rule();
-  }
-  std::cout << table << '\n'
-            << (all_hold ? "All measured C^k satisfy the rigorous Thm 13 "
-                           "bound (column ≤ 1). ✓"
-                         : "BOUND VIOLATION — investigate! ✗")
-            << "\nElapsed: " << format_double(watch.seconds(), 3) << " s\n";
-  return all_hold ? 0 : 1;
+  return manywalks::cli::run_experiment_main("fig_matthews_bounds", argc, argv);
 }

@@ -1,85 +1,8 @@
-// Experiment E9 — Theorem 9: for d-regular graphs with mixing time t_m,
-// S^k = Ω(k / (t_m ln n)) for k ≤ n. The harness measures t_m (paper
-// definition) and S^k on regular families with very different mixing times
-// and prints the ratio S^k / (k / (t_m ln n)), which must stay bounded
-// below by a constant — and is huge exactly when mixing is fast.
-#include <cmath>
-#include <iostream>
-#include <vector>
-
-#include "core/analyzer.hpp"
-#include "core/experiments.hpp"
-#include "theory/bounds.hpp"
-#include "util/options.hpp"
-#include "util/timer.hpp"
+// Legacy shim — this experiment now lives in the registry behind the
+// unified CLI; `manywalks run fig_mixing_bound` is the same thing plus
+// JSON/CSV sinks. Kept so existing workflows and scripts don't break.
+#include "cli/driver.hpp"
 
 int main(int argc, char** argv) {
-  using namespace manywalks;
-
-  bool full = false;
-  std::uint64_t n = 0;
-  std::uint64_t trials = 0;
-  std::uint64_t seed = 9;
-  ArgParser parser("fig_mixing_bound",
-                   "Thm 9: S^k >= Ω(k / (t_mix ln n)) on regular graphs");
-  parser.add_flag("full", &full, "paper-scale size")
-      .add_option("n", &n, "target size (0 = preset)")
-      .add_option("trials", &trials, "override trials (0 = preset)")
-      .add_option("seed", &seed, "random seed");
-  if (!parser.parse(argc, argv)) return 1;
-
-  const std::uint64_t target_n = n != 0 ? n : (full ? 1024 : 256);
-  const std::uint64_t target_trials = trials != 0 ? trials : (full ? 300 : 120);
-
-  ExperimentOptions options;
-  options.seed = seed;
-  options.mc.min_trials = std::max<std::uint64_t>(target_trials / 4, 8);
-  options.mc.max_trials = target_trials;
-
-  // Regular families ordered by mixing speed.
-  const std::vector<GraphFamily> families = {
-      GraphFamily::kComplete, GraphFamily::kMargulis, GraphFamily::kHypercube,
-      GraphFamily::kGrid2d, GraphFamily::kCycle};
-  const std::vector<unsigned> ks = {4, 16, 64};
-
-  Stopwatch watch;
-  ThreadPool pool;
-  TextTable table("Thm 9 — measured speed-up vs the mixing-time bound");
-  table.add_column("graph", TextTable::Align::kLeft)
-      .add_column("t_mix")
-      .add_column("k")
-      .add_column("S^k")
-      .add_column("bound k/(t_m ln n)")
-      .add_column("ratio (≥ Ω(1))");
-
-  for (GraphFamily family : families) {
-    const FamilyInstance instance = make_family_instance(family, target_n, seed);
-    const MixingMeasurement mixing = measure_mixing_time(
-        instance.graph, instance.needs_lazy_mixing, options.mixing_cap,
-        std::vector<Vertex>{instance.start});
-    const SpeedupCurveResult curve =
-        run_speedup_curve(instance, ks, options, &pool);
-    for (const SpeedupEstimate& p : curve.points) {
-      const double t_m =
-          mixing.converged ? std::max<double>(1.0, static_cast<double>(mixing.time))
-                           : static_cast<double>(options.mixing_cap);
-      const double reference = theorem9_speedup_reference(
-          p.k, t_m, instance.graph.num_vertices());
-      table.begin_row();
-      table.cell(instance.name + (mixing.laziness > 0 ? " (lazy mix)" : ""));
-      table.cell(mixing.converged ? format_count(mixing.time)
-                                  : "> " + format_count(mixing.time));
-      table.cell(static_cast<std::uint64_t>(p.k));
-      table.cell(format_mean_pm(p.speedup, p.half_width, 3));
-      table.cell(format_double(reference, 3));
-      table.cell(format_double(p.speedup / reference, 3));
-    }
-    table.rule();
-  }
-  std::cout << table << '\n'
-            << "Paper claim (Thm 9): the last column stays bounded below "
-               "across families; the bound\nis informative (ratio near "
-               "small constant · 1) only for fast-mixing graphs.\n"
-            << "Elapsed: " << format_double(watch.seconds(), 3) << " s\n";
-  return 0;
+  return manywalks::cli::run_experiment_main("fig_mixing_bound", argc, argv);
 }

@@ -1,120 +1,8 @@
-// Experiment E-P — start-placement ablation (beyond the paper's
-// same-vertex setting): how much of the k-walk speed-up is lost by
-// clustering all tokens on one vertex?
-//
-// Placements compared at fixed k:
-//   same-vertex  — the paper's setting (worst case for dispersal);
-//   stationary   — i.i.d. from pi (the §1.1 prior-work setting);
-//   uniform      — i.i.d. uniform vertices;
-//   spread       — deterministic greedy k-center (max-min BFS distance).
-// On fast-mixing graphs the placements coincide after t_mix steps, so the
-// differences are small; on the barbell and cycle placement is everything.
-#include <iostream>
-#include <vector>
-
-#include "core/families.hpp"
-#include "mc/estimators.hpp"
-#include "util/options.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
-#include "walk/sampling.hpp"
-
-namespace {
-
-using namespace manywalks;
-
-McResult measure_uniform_starts(const Graph& g, unsigned k,
-                                const McOptions& mc, ThreadPool* pool) {
-  return run_monte_carlo(
-      [&g, k](std::uint64_t, Rng& rng) {
-        const auto starts = sample_uniform_starts(g, k, rng);
-        const CoverSample s = sample_multi_cover_time(g, starts, rng);
-        return TrialOutcome{static_cast<double>(s.steps), !s.covered};
-      },
-      mc, pool);
-}
-
-}  // namespace
+// Legacy shim — this experiment now lives in the registry behind the
+// unified CLI; `manywalks run fig_start_placement` is the same thing plus
+// JSON/CSV sinks. Kept so existing workflows and scripts don't break.
+#include "cli/driver.hpp"
 
 int main(int argc, char** argv) {
-  bool full = false;
-  std::uint64_t n = 0;
-  std::uint64_t trials = 0;
-  std::uint64_t k64 = 16;
-  std::uint64_t seed = 77;
-  ArgParser parser("fig_start_placement",
-                   "ablation: same-vertex vs dispersed k-walk starts");
-  parser.add_flag("full", &full, "paper-scale size")
-      .add_option("n", &n, "target size (0 = preset)")
-      .add_option("k", &k64, "number of walks")
-      .add_option("trials", &trials, "override trials (0 = preset)")
-      .add_option("seed", &seed, "random seed");
-  if (!parser.parse(argc, argv)) return 1;
-
-  const auto k = static_cast<unsigned>(k64);
-  const std::uint64_t target_n = n != 0 ? n : (full ? 1024 : 256);
-  const std::uint64_t target_trials = trials != 0 ? trials : (full ? 300 : 120);
-
-  McOptions mc;
-  mc.min_trials = std::max<std::uint64_t>(target_trials / 4, 8);
-  mc.max_trials = target_trials;
-
-  const std::vector<GraphFamily> families = {
-      GraphFamily::kMargulis, GraphFamily::kGrid2d, GraphFamily::kCycle,
-      GraphFamily::kBarbell};
-
-  Stopwatch watch;
-  ThreadPool pool;
-  TextTable table("k = " + std::to_string(k) +
-                  " walks: cover time by start placement");
-  table.add_column("graph", TextTable::Align::kLeft)
-      .add_column("same-vertex")
-      .add_column("stationary")
-      .add_column("uniform")
-      .add_column("spread (k-center)")
-      .add_column("same/spread");
-
-  for (GraphFamily family : families) {
-    const FamilyInstance instance = make_family_instance(family, target_n, seed);
-    const Graph& g = instance.graph;
-
-    McOptions o1 = mc;
-    o1.seed = mix64(seed ^ 0xaaa1ULL);
-    const McResult same =
-        estimate_k_cover_time(g, instance.start, k, o1, {}, &pool);
-
-    McOptions o2 = mc;
-    o2.seed = mix64(seed ^ 0xaaa2ULL);
-    const McResult stationary =
-        estimate_stationary_start_cover(g, k, o2, {}, &pool);
-
-    McOptions o3 = mc;
-    o3.seed = mix64(seed ^ 0xaaa3ULL);
-    const McResult uniform = measure_uniform_starts(g, k, o3, &pool);
-
-    McOptions o4 = mc;
-    o4.seed = mix64(seed ^ 0xaaa4ULL);
-    const std::vector<Vertex> spread = spread_starts(g, k, instance.start);
-    const McResult spread_result =
-        estimate_multi_cover_time(g, spread, o4, {}, &pool);
-
-    table.begin_row();
-    table.cell(instance.name);
-    table.cell(format_mean_pm(same.ci.mean, same.ci.half_width));
-    table.cell(format_mean_pm(stationary.ci.mean, stationary.ci.half_width));
-    table.cell(format_mean_pm(uniform.ci.mean, uniform.ci.half_width));
-    table.cell(format_mean_pm(spread_result.ci.mean,
-                              spread_result.ci.half_width));
-    table.cell(format_double(same.ci.mean / spread_result.ci.mean, 3));
-  }
-  std::cout << table << '\n'
-            << "Expected: placement is nearly irrelevant on the expander "
-               "(walks disperse within t_mix)\nand worth ~5x on the cycle. "
-               "On the barbell the CENTER start wins outright: the\ntokens "
-               "split into both bells and the bottleneck vertex is covered "
-               "at t = 0, while any\ndispersed placement pays the Θ(n²)/k "
-               "bell-to-center hitting time (Thm 7 is a\nstatement about "
-               "v_c for good reason).\n"
-            << "Elapsed: " << format_double(watch.seconds(), 3) << " s\n";
-  return 0;
+  return manywalks::cli::run_experiment_main("fig_start_placement", argc, argv);
 }

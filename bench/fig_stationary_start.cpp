@@ -1,97 +1,8 @@
-// Experiment E-SS — the paper's §1.1 comparison with prior work: k walks
-// started from the STATIONARY distribution instead of a single vertex.
-//
-// Claims reproduced:
-//  * Broder–Karlin–Raghavan–Upfal (1989): stationary-start k-walk cover is
-//    O(m² log³ n / k²).
-//  * Paper §1.1 via Lemma 19: on expanders the stationary-start cover is
-//    O((n log n)/k) — linear in 1/k, improving on the 1/k² bound's
-//    constants for k up to n.
-//  * The same-vertex start (the paper's main setting) is never faster than
-//    stationary starts; the gap is dramatic on the barbell and negligible
-//    on fast-mixing graphs.
-#include <cmath>
-#include <iostream>
-#include <vector>
-
-#include "core/families.hpp"
-#include "mc/estimators.hpp"
-#include "theory/closed_forms.hpp"
-#include "util/options.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
+// Legacy shim — this experiment now lives in the registry behind the
+// unified CLI; `manywalks run fig_stationary_start` is the same thing plus
+// JSON/CSV sinks. Kept so existing workflows and scripts don't break.
+#include "cli/driver.hpp"
 
 int main(int argc, char** argv) {
-  using namespace manywalks;
-
-  bool full = false;
-  std::uint64_t n = 0;
-  std::uint64_t trials = 0;
-  std::uint64_t seed = 19;
-  ArgParser parser("fig_stationary_start",
-                   "§1.1: k walks from the stationary distribution");
-  parser.add_flag("full", &full, "paper-scale size")
-      .add_option("n", &n, "target size (0 = preset)")
-      .add_option("trials", &trials, "override trials (0 = preset)")
-      .add_option("seed", &seed, "random seed");
-  if (!parser.parse(argc, argv)) return 1;
-
-  const std::uint64_t target_n = n != 0 ? n : (full ? 1024 : 256);
-  const std::uint64_t target_trials = trials != 0 ? trials : (full ? 300 : 120);
-
-  McOptions mc;
-  mc.min_trials = std::max<std::uint64_t>(target_trials / 4, 8);
-  mc.max_trials = target_trials;
-
-  const std::vector<GraphFamily> families = {
-      GraphFamily::kMargulis, GraphFamily::kGrid2d, GraphFamily::kBarbell};
-  const std::vector<unsigned> ks = {1, 4, 16, 64};
-
-  Stopwatch watch;
-  ThreadPool pool;
-  TextTable table(
-      "Stationary-start vs same-vertex k-walk cover times (§1.1)");
-  table.add_column("graph", TextTable::Align::kLeft)
-      .add_column("k")
-      .add_column("C^k same-vertex")
-      .add_column("C^k stationary")
-      .add_column("ratio")
-      .add_column("Lemma19 n·ln n/k")
-      .add_column("BKRU m²ln³n/k²");
-
-  for (GraphFamily family : families) {
-    const FamilyInstance instance = make_family_instance(family, target_n, seed);
-    const double nn = static_cast<double>(instance.graph.num_vertices());
-    const double mm = static_cast<double>(instance.graph.num_edges());
-    const double ln_n = std::log(nn);
-    for (unsigned k : ks) {
-      McOptions same = mc;
-      same.seed = mix64(seed ^ (0x5a3eULL + k));
-      const McResult fixed_start = estimate_k_cover_time(
-          instance.graph, instance.start, k, same, {}, &pool);
-      McOptions stat = mc;
-      stat.seed = mix64(seed ^ (0x57a7ULL + k));
-      const McResult stationary = estimate_stationary_start_cover(
-          instance.graph, k, stat, {}, &pool);
-      table.begin_row();
-      table.cell(instance.name);
-      table.cell(static_cast<std::uint64_t>(k));
-      table.cell(format_mean_pm(fixed_start.ci.mean, fixed_start.ci.half_width));
-      table.cell(format_mean_pm(stationary.ci.mean, stationary.ci.half_width));
-      table.cell(format_double(fixed_start.ci.mean / stationary.ci.mean, 3));
-      table.cell(format_double(nn * ln_n / k));
-      table.cell(format_double(mm * mm * ln_n * ln_n * ln_n / (k * k)));
-    }
-    table.rule();
-  }
-  std::cout << table << '\n'
-            << "Expected: on the expander the stationary column tracks "
-               "n·ln n/k (Lemma 19), far\nbelow the BKRU 1/k² bound. On the "
-               "barbell the comparison flips for k ≥ 2: center\nstarts split "
-               "into both bells AND cover the center for free (Thm 7's "
-               "mechanism), while\nstationary starts must pay the Θ(n²) "
-               "bell-to-center hitting time — the paper's\nremark that Thm 7 "
-               "holds only from v_c is visible here.\n"
-            << "Elapsed: " << format_double(watch.seconds(), 3) << " s\n";
-  return 0;
+  return manywalks::cli::run_experiment_main("fig_stationary_start", argc, argv);
 }

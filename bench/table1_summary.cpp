@@ -1,66 +1,8 @@
-// Experiment T1 — reproduces the paper's Table 1 (results summary): for each
-// of the seven graph families, the measured cover time, maximum hitting
-// time, mixing time, the Matthews gap, and the speed-up S^k at small k,
-// side by side with the paper's predicted orders.
-//
-// Quick mode (default): n ≈ 256, light trial counts (~1 min).
-// --full: n ≈ 4096 (grids/hypercube rounded), heavier trials.
-#include <cmath>
-#include <iostream>
-#include <vector>
-
-#include "core/experiments.hpp"
-#include "util/options.hpp"
-#include "util/timer.hpp"
+// Legacy shim — this experiment now lives in the registry behind the
+// unified CLI; `manywalks run table1_summary` is the same thing plus
+// JSON/CSV sinks. Kept so existing workflows and scripts don't break.
+#include "cli/driver.hpp"
 
 int main(int argc, char** argv) {
-  using namespace manywalks;
-
-  bool full = false;
-  std::uint64_t n = 0;
-  std::uint64_t trials = 0;
-  std::uint64_t seed = 1;
-  ArgParser parser("table1_summary", "reproduce Table 1 of the paper");
-  parser.add_flag("full", &full, "paper-scale sizes and trials")
-      .add_option("n", &n, "override target n (0 = preset)")
-      .add_option("trials", &trials, "override trials (0 = preset)")
-      .add_option("seed", &seed, "random seed");
-  if (!parser.parse(argc, argv)) return 1;
-
-  const std::uint64_t target_n = n != 0 ? n : (full ? 4096 : 256);
-  const std::uint64_t target_trials = trials != 0 ? trials : (full ? 400 : 120);
-
-  ExperimentOptions options;
-  options.seed = seed;
-  options.mc.min_trials = std::max<std::uint64_t>(target_trials / 4, 8);
-  options.mc.max_trials = target_trials;
-  options.mc.target_rel_half_width = 0.04;
-  options.hmax_exact_limit = full ? 2048 : 1200;
-  // At n ≈ 4096 the cycle's t_mix = Θ(n²) ≈ 17M steps, each O(arcs) — the
-  // exact measurement would dominate the whole table. Cap it and let the
-  // row report "> cap", which is the Θ(n²) prediction's signature anyway.
-  options.mixing_cap = full ? 2'000'000 : 1'000'000;
-
-  // Speed-up columns: k = 2 and k = floor(ln n) (the Thm 4 regime).
-  const auto log_n = static_cast<unsigned>(
-      std::max(3.0, std::floor(std::log(static_cast<double>(target_n)))));
-  const std::vector<unsigned> ks = {2, log_n};
-
-  Stopwatch watch;
-  ThreadPool pool;
-  std::vector<Table1Row> rows;
-  for (GraphFamily family : table1_families()) {
-    const FamilyInstance instance =
-        make_family_instance(family, target_n, seed);
-    std::cerr << "[table1] measuring " << instance.name << "...\n";
-    rows.push_back(run_table1_row(instance, ks, options, &pool));
-  }
-
-  std::cout << render_table1(rows, ks) << '\n'
-            << "h_max marked * is a sampled extremal-pair estimate (exact "
-               "solve above the size cap).\n"
-            << "Mixing time uses the paper's definition (L1 < 1/e); (lazy) "
-               "marks bipartite families\nmeasured on the 1/2-lazy chain.\n"
-            << "Elapsed: " << format_double(watch.seconds(), 3) << " s\n";
-  return 0;
+  return manywalks::cli::run_experiment_main("table1_summary", argc, argv);
 }

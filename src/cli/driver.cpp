@@ -1,0 +1,158 @@
+#include "cli/driver.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "cli/presets.hpp"
+#include "cli/registry.hpp"
+#include "cli/sinks.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace manywalks::cli {
+
+namespace {
+
+bool has_extra(const ExperimentInfo& info, ExtraParam extra) {
+  return std::find(info.extras.begin(), info.extras.end(), extra) !=
+         info.extras.end();
+}
+
+void print_usage(std::ostream& os) {
+  os << "manywalks — unified experiment CLI for the SPAA 2008 reproduction\n"
+        "\n"
+        "Usage:\n"
+        "  manywalks list [--plain]     all registered experiments and the\n"
+        "                               paper claims they reproduce\n"
+        "                               (--plain: names only, for scripts)\n"
+        "  manywalks run <exp> [opts]   run one experiment; common options:\n"
+        "                               --full --n=<n> --trials=<t>\n"
+        "                               --seed=<s> --threads=<w>\n"
+        "                               --format=text|json|csv --out=<dir>\n"
+        "  manywalks table1 [opts]      shorthand for `run table1_summary`\n"
+        "  manywalks help               this message\n"
+        "\n"
+        "`manywalks run <exp> --help` lists the experiment's own options.\n"
+        "See docs/REPRODUCING.md for the claim-by-claim reproduction guide.\n";
+}
+
+int list_experiments(int argc, char** argv) {
+  bool plain = false;
+  ArgParser parser("manywalks list", "list the registered experiments");
+  parser.add_flag("plain", &plain, "print bare names only (for scripts)");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const auto experiments = default_registry().list();
+  if (plain) {
+    for (const Experiment* experiment : experiments) {
+      std::cout << experiment->info.name << '\n';
+    }
+    return 0;
+  }
+  TextTable table("Registered experiments (run with `manywalks run <name>`)");
+  table.add_column("name", TextTable::Align::kLeft)
+      .add_column("paper claim", TextTable::Align::kLeft)
+      .add_column("summary", TextTable::Align::kLeft);
+  for (const Experiment* experiment : experiments) {
+    table.begin_row();
+    table.cell(experiment->info.name);
+    table.cell(experiment->info.claim);
+    table.cell(experiment->info.summary);
+  }
+  std::cout << table;
+  return 0;
+}
+
+}  // namespace
+
+int run_experiment_main(std::string_view name, int argc, char** argv) {
+  const Experiment* experiment = default_registry().find(name);
+  if (experiment == nullptr) {
+    std::cerr << "manywalks: unknown experiment '" << name
+              << "' (see `manywalks list`)\n";
+    return 2;
+  }
+  const ExperimentInfo& info = experiment->info;
+
+  ExperimentParams params;
+  // The registration's default seed is the parser default, so --help shows
+  // the real value and an explicit --seed=0 is honored verbatim.
+  params.seed = info.default_seed;
+  std::string format_text = "text";
+  SinkOptions sink;
+  ArgParser parser(info.name, info.summary + " [" + info.claim + "]");
+  parser.add_flag("full", &params.full, "paper-scale presets")
+      .add_option("n", &params.n, "target graph size (0 = preset)")
+      .add_option("trials", &params.trials, "Monte-Carlo trials (0 = preset)")
+      .add_option("seed", &params.seed, "master seed")
+      .add_option("threads", &params.threads, "worker threads (0 = hardware)")
+      .add_option("format", &format_text, "output format: text, json, csv")
+      .add_option("out", &sink.out_dir,
+                  "directory for json/csv files (default: stdout)");
+  if (has_extra(info, ExtraParam::kK)) {
+    parser.add_option("k", &params.k, "number of walks (0 = preset)");
+  }
+  if (has_extra(info, ExtraParam::kKmax)) {
+    parser.add_option("kmax", &params.kmax,
+                      "largest k in the sweep (0 = preset)");
+  }
+  if (has_extra(info, ExtraParam::kCk)) {
+    parser.add_option("ck", &params.ck, "k = ck * ln n (0 = preset)");
+  }
+  if (!parser.parse(argc, argv)) return 1;
+  if (!parse_output_format(format_text, &sink.format)) {
+    std::cerr << info.name << ": unknown --format '" << format_text
+              << "' (expected text, json, or csv)\n";
+    return 1;
+  }
+
+  ThreadPool pool(params.threads);
+  Stopwatch watch;
+  ExperimentResult result;
+  try {
+    result = experiment->run(params, pool);
+    result.elapsed_seconds = watch.seconds();
+    emit_result(result, sink, std::cout);
+  } catch (const std::exception& error) {
+    std::cerr << info.name << ": " << error.what() << '\n';
+    return 1;
+  }
+  return result.has_verdict && !result.passed ? 1 : 0;
+}
+
+int manywalks_main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage(std::cerr);
+    return 1;
+  }
+  const std::string_view command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    print_usage(std::cout);
+    return 0;
+  }
+  if (command == "list") {
+    return list_experiments(argc - 1, argv + 1);
+  }
+  if (command == "table1") {
+    return run_experiment_main("table1_summary", argc - 1, argv + 1);
+  }
+  if (command == "run") {
+    if (argc < 3 || std::string_view(argv[2]).rfind("--", 0) == 0) {
+      std::cerr << "manywalks run: missing experiment name (see `manywalks "
+                   "list`)\n";
+      return 1;
+    }
+    return run_experiment_main(argv[2], argc - 2, argv + 2);
+  }
+  // Convenience: `manywalks fig_cycle_speedup ...` works too.
+  if (default_registry().find(command) != nullptr) {
+    return run_experiment_main(command, argc - 1, argv + 1);
+  }
+  std::cerr << "manywalks: unknown command '" << command << "'\n\n";
+  print_usage(std::cerr);
+  return 1;
+}
+
+}  // namespace manywalks::cli

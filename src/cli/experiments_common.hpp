@@ -1,0 +1,43 @@
+// Internal helpers shared by the experiments_*.cpp registration files.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "cli/presets.hpp"
+#include "cli/registry.hpp"
+
+namespace manywalks::cli {
+
+inline void push_param(ExperimentResult& result, std::string name,
+                       std::uint64_t value) {
+  result.params.emplace_back(std::move(name), ResultCell{value});
+}
+
+inline void push_param(ExperimentResult& result, std::string name,
+                       double value) {
+  result.params.emplace_back(std::move(name), ResultCell{RealCell{value, 4}});
+}
+
+inline void push_param(ExperimentResult& result, std::string name,
+                       std::string value) {
+  result.params.emplace_back(std::move(name), ResultCell{std::move(value)});
+}
+
+inline void push_param(ExperimentResult& result, std::string name,
+                       bool value) {
+  result.params.emplace_back(std::move(name), ResultCell{value});
+}
+
+/// The shared (seed, full, n, trials, threads) parameter echo.
+inline void push_common_params(ExperimentResult& result, std::uint64_t seed,
+                               bool full, std::uint64_t n,
+                               std::uint64_t trials, unsigned threads) {
+  push_param(result, "seed", seed);
+  push_param(result, "full", full);
+  if (n != 0) push_param(result, "n", n);
+  push_param(result, "trials", trials);
+  push_param(result, "threads", static_cast<std::uint64_t>(threads));
+}
+
+}  // namespace manywalks::cli

@@ -1,0 +1,6 @@
+// The `manywalks` binary: every experiment in the registry behind one CLI.
+#include "cli/driver.hpp"
+
+int main(int argc, char** argv) {
+  return manywalks::cli::manywalks_main(argc, argv);
+}

@@ -1,0 +1,49 @@
+#include "cli/registry.hpp"
+
+#include "util/check.hpp"
+
+namespace manywalks::cli {
+
+void ExperimentRegistry::add(ExperimentInfo info, ExperimentRunner runner) {
+  MW_REQUIRE(!info.name.empty(), "experiment name must be nonempty");
+  MW_REQUIRE(runner != nullptr,
+             "experiment '" << info.name << "' needs a runner");
+  MW_REQUIRE(find(info.name) == nullptr,
+             "duplicate experiment name '" << info.name << "'");
+  auto experiment = std::make_unique<Experiment>();
+  experiment->info = std::move(info);
+  experiment->runner = std::move(runner);
+  experiments_.push_back(std::move(experiment));
+}
+
+const Experiment* ExperimentRegistry::find(std::string_view name) const {
+  for (const auto& experiment : experiments_) {
+    if (experiment->info.name == name) return experiment.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Experiment*> ExperimentRegistry::list() const {
+  std::vector<const Experiment*> result;
+  result.reserve(experiments_.size());
+  for (const auto& experiment : experiments_) result.push_back(experiment.get());
+  return result;
+}
+
+void register_all_experiments(ExperimentRegistry& registry) {
+  register_table1_experiment(registry);
+  register_speedup_experiments(registry);
+  register_bounds_experiments(registry);
+  register_start_experiments(registry);
+}
+
+const ExperimentRegistry& default_registry() {
+  static const ExperimentRegistry registry = [] {
+    ExperimentRegistry r;
+    register_all_experiments(r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace manywalks::cli

@@ -1,0 +1,44 @@
+// Output sinks for structured experiment results.
+//
+// One run, three renderings: the paper-style text tables (default), JSON
+// (the whole result as one document), and CSV (one stream per table).
+// `--out=DIR` redirects the machine-readable formats into files named
+// after the experiment.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/experiments.hpp"
+
+namespace manywalks::cli {
+
+enum class OutputFormat { kText, kJson, kCsv };
+
+/// Parses "text" / "json" / "csv"; returns false on anything else.
+bool parse_output_format(std::string_view text, OutputFormat* format);
+
+struct SinkOptions {
+  OutputFormat format = OutputFormat::kText;
+  /// When nonempty, output goes to files under this directory instead of
+  /// stdout: <name>.json, <name>.<table-id>.csv, or <name>.txt.
+  std::string out_dir;
+};
+
+/// The legacy drivers' stdout rendering: preamble, tables, notes, elapsed.
+void render_text(const ExperimentResult& result, std::ostream& os);
+
+/// The whole result as a single JSON document (stable key order, raw
+/// numeric values with round-trip precision, NaN/Inf as null).
+std::string render_json(const ExperimentResult& result);
+
+/// One table as RFC-4180 CSV. "mean ± half-width" columns expand into
+/// `<name>` and `<name> (±)`.
+std::string render_csv(const ResultTable& table);
+
+/// Renders `result` per `options`: text to `os`; json/csv to `os` or, when
+/// out_dir is set, to files (paths echoed on `os`). Throws on I/O errors.
+void emit_result(const ExperimentResult& result, const SinkOptions& options,
+                 std::ostream& os);
+
+}  // namespace manywalks::cli

@@ -8,6 +8,88 @@
 
 namespace manywalks {
 
+std::string cell_text(const ResultCell& cell) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "-"; }
+    std::string operator()(const std::string& text) const { return text; }
+    std::string operator()(std::uint64_t value) const {
+      return format_count(value);
+    }
+    std::string operator()(const RealCell& value) const {
+      return format_double(value.value, value.sig);
+    }
+    std::string operator()(const MeanPmCell& value) const {
+      return format_mean_pm(value.mean, value.half_width, value.sig);
+    }
+    std::string operator()(bool value) const {
+      return value ? "true" : "false";
+    }
+  };
+  return std::visit(Visitor{}, cell);
+}
+
+ResultTable& ResultTable::add_column(std::string name, bool left) {
+  MW_REQUIRE(rows_.empty(), "declare all columns before adding rows");
+  columns_.push_back(Column{std::move(name), left});
+  return *this;
+}
+
+ResultTable& ResultTable::begin_row() {
+  MW_REQUIRE(!columns_.empty(), "declare columns before rows");
+  rows_.push_back(Row{{}, pending_rule_});
+  pending_rule_ = false;
+  return *this;
+}
+
+ResultTable& ResultTable::rule() {
+  pending_rule_ = true;
+  return *this;
+}
+
+ResultTable& ResultTable::cell(ResultCell cell) {
+  MW_REQUIRE(!rows_.empty(), "begin_row before adding cells");
+  MW_REQUIRE(rows_.back().cells.size() < columns_.size(),
+             "row already has " << columns_.size() << " cells");
+  rows_.back().cells.push_back(std::move(cell));
+  return *this;
+}
+
+ResultTable& ResultTable::text(std::string value) {
+  return cell(ResultCell{std::move(value)});
+}
+
+ResultTable& ResultTable::count(std::uint64_t value) {
+  return cell(ResultCell{value});
+}
+
+ResultTable& ResultTable::real(double value, int sig) {
+  return cell(ResultCell{RealCell{value, sig}});
+}
+
+ResultTable& ResultTable::mean_pm(double mean, double half_width, int sig) {
+  return cell(ResultCell{MeanPmCell{mean, half_width, sig}});
+}
+
+ResultTable& ResultTable::mean_pm(const McResult& result, int sig) {
+  return mean_pm(result.ci.mean, result.ci.half_width, sig);
+}
+
+ResultTable& ResultTable::blank() { return cell(ResultCell{}); }
+
+TextTable to_text_table(const ResultTable& table) {
+  TextTable text(table.title());
+  for (const ResultTable::Column& column : table.columns()) {
+    text.add_column(column.name, column.left ? TextTable::Align::kLeft
+                                             : TextTable::Align::kRight);
+  }
+  for (const ResultTable::Row& row : table.rows()) {
+    if (row.rule_before) text.rule();
+    text.begin_row();
+    for (const ResultCell& cell : row.cells) text.cell(cell_text(cell));
+  }
+  return text;
+}
+
 Table1Row run_table1_row(const FamilyInstance& instance,
                          std::span<const unsigned> ks,
                          const ExperimentOptions& options, ThreadPool* pool) {
@@ -32,11 +114,12 @@ Table1Row run_table1_row(const FamilyInstance& instance,
   return row;
 }
 
-TextTable render_table1(std::span<const Table1Row> rows,
-                        std::span<const unsigned> ks) {
-  TextTable table("Table 1 — measured cover/hitting/mixing times and speed-ups "
-                  "(paper orders in parentheses)");
-  table.add_column("graph family", TextTable::Align::kLeft)
+ResultTable make_table1_result_table(std::span<const Table1Row> rows,
+                                     std::span<const unsigned> ks) {
+  ResultTable table("table1",
+                    "Table 1 — measured cover/hitting/mixing times and "
+                    "speed-ups (paper orders in parentheses)");
+  table.add_column("graph family", /*left=*/true)
       .add_column("n")
       .add_column("cover C")
       .add_column("C theory")
@@ -44,35 +127,25 @@ TextTable render_table1(std::span<const Table1Row> rows,
       .add_column("h theory")
       .add_column("t_mix")
       .add_column("gap C/h");
-  for (unsigned k : ks) {
-    std::ostringstream os;
-    os << "S^" << k;
-    table.add_column(os.str());
-  }
-  table.add_column("speed-up (paper)", TextTable::Align::kLeft);
+  for (unsigned k : ks) table.add_column("S^" + std::to_string(k));
+  table.add_column("speed-up (paper)", /*left=*/true);
 
   for (const Table1Row& row : rows) {
     table.begin_row();
-    table.cell(row.name);
-    table.cell(static_cast<std::uint64_t>(row.n));
-    table.cell(format_mean_pm(row.profile.cover.ci.mean,
-                              row.profile.cover.ci.half_width));
-    {
-      std::ostringstream os;
-      os << format_double(row.theory.cover) << " (" << row.theory.cover_formula
-         << ")";
-      table.cell(os.str());
+    table.text(row.name);
+    table.count(row.n);
+    table.mean_pm(row.profile.cover);
+    table.text(format_double(row.theory.cover) + " (" +
+               row.theory.cover_formula + ")");
+    if (row.profile.h_max.exact) {
+      table.real(row.profile.h_max.value);
+    } else {
+      table.text(format_mean_pm(row.profile.h_max.value,
+                                row.profile.h_max.half_width) +
+                 "*");
     }
-    table.cell(row.profile.h_max.exact
-                   ? format_double(row.profile.h_max.value)
-                   : format_mean_pm(row.profile.h_max.value,
-                                    row.profile.h_max.half_width) + "*");
-    {
-      std::ostringstream os;
-      os << format_double(row.theory.h_max) << " ("
-         << row.theory.hitting_formula << ")";
-      table.cell(os.str());
-    }
+    table.text(format_double(row.theory.h_max) + " (" +
+               row.theory.hitting_formula + ")");
     {
       std::ostringstream os;
       if (!row.profile.mixing.converged) {
@@ -81,15 +154,20 @@ TextTable render_table1(std::span<const Table1Row> rows,
         os << format_count(row.profile.mixing.time);
       }
       if (row.profile.mixing.laziness > 0.0) os << " (lazy)";
-      table.cell(os.str());
+      table.text(os.str());
     }
-    table.cell(format_double(row.profile.gap));
+    table.real(row.profile.gap);
     for (const SpeedupEstimate& s : row.speedups) {
-      table.cell(format_mean_pm(s.speedup, s.half_width, 3));
+      table.mean_pm(s.speedup, s.half_width, 3);
     }
-    table.cell(row.theory.speedup_regime);
+    table.text(row.theory.speedup_regime);
   }
   return table;
+}
+
+TextTable render_table1(std::span<const Table1Row> rows,
+                        std::span<const unsigned> ks) {
+  return to_text_table(make_table1_result_table(rows, ks));
 }
 
 SpeedupCurveResult run_speedup_curve(const FamilyInstance& instance,
@@ -170,10 +248,10 @@ BarbellResult run_barbell_experiment(std::span<const Vertex> ns, double c_k,
   return result;
 }
 
-TextTable render_barbell(const BarbellResult& result) {
-  TextTable table(
-      "Barbell B_n from the center (Thm 7 / Fig 1): C = Θ(n²) vs "
-      "C^k = O(n) at k = Θ(log n)");
+ResultTable make_barbell_result_table(const BarbellResult& result) {
+  ResultTable table("barbell",
+                    "Barbell B_n from the center (Thm 7 / Fig 1): C = Θ(n²) "
+                    "vs C^k = O(n) at k = Θ(log n)");
   table.add_column("n")
       .add_column("k")
       .add_column("C (1 walk)")
@@ -183,15 +261,19 @@ TextTable render_barbell(const BarbellResult& result) {
       .add_column("speed-up");
   for (const BarbellPoint& p : result.points) {
     table.begin_row();
-    table.cell(static_cast<std::uint64_t>(p.n));
-    table.cell(static_cast<std::uint64_t>(p.k));
-    table.cell(format_mean_pm(p.single.ci.mean, p.single.ci.half_width));
-    table.cell(format_double(p.single_over_n2, 3));
-    table.cell(format_mean_pm(p.multi.ci.mean, p.multi.ci.half_width));
-    table.cell(format_double(p.multi_over_n, 3));
-    table.cell(format_double(p.speedup, 3));
+    table.count(p.n);
+    table.count(p.k);
+    table.mean_pm(p.single);
+    table.real(p.single_over_n2, 3);
+    table.mean_pm(p.multi);
+    table.real(p.multi_over_n, 3);
+    table.real(p.speedup, 3);
   }
   return table;
+}
+
+TextTable render_barbell(const BarbellResult& result) {
+  return to_text_table(make_barbell_result_table(result));
 }
 
 }  // namespace manywalks

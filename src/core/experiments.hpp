@@ -5,6 +5,8 @@
 
 #include <span>
 #include <string>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "core/analyzer.hpp"
@@ -13,6 +15,95 @@
 #include "util/table.hpp"
 
 namespace manywalks {
+
+// --- structured results ------------------------------------------------------
+//
+// Every experiment driver returns an ExperimentResult: typed tables plus the
+// surrounding prose. Cells keep raw values (not formatted strings) so the
+// same result renders as the paper-style text table, as CSV, or as JSON.
+
+/// A real-valued cell; `sig` is the significant-digit count used by the
+/// text renderer (format_double).
+struct RealCell {
+  double value = 0.0;
+  int sig = 4;
+};
+
+/// A "mean ± half-width" cell (confidence-interval estimates).
+struct MeanPmCell {
+  double mean = 0.0;
+  double half_width = 0.0;
+  int sig = 4;
+};
+
+/// One table cell: empty (renders "-"), verbatim text, an exact count, a
+/// real, a mean±half-width estimate, or a boolean (JSON true/false).
+using ResultCell =
+    std::variant<std::monostate, std::string, std::uint64_t, RealCell,
+                 MeanPmCell, bool>;
+
+/// Renders a cell exactly as the legacy text tables did (format_count /
+/// format_double / format_mean_pm; empty cells as "-").
+std::string cell_text(const ResultCell& cell);
+
+class ResultTable {
+ public:
+  struct Column {
+    std::string name;
+    bool left = false;  ///< left-aligned (labels); numbers are right-aligned
+  };
+  struct Row {
+    std::vector<ResultCell> cells;
+    bool rule_before = false;
+  };
+
+  ResultTable() = default;
+  ResultTable(std::string id, std::string title)
+      : id_(std::move(id)), title_(std::move(title)) {}
+
+  ResultTable& add_column(std::string name, bool left = false);
+  ResultTable& begin_row();
+  /// Inserts a horizontal rule before the next row (group separators).
+  ResultTable& rule();
+
+  ResultTable& text(std::string value);
+  ResultTable& count(std::uint64_t value);
+  ResultTable& real(double value, int sig = 4);
+  ResultTable& mean_pm(double mean, double half_width, int sig = 4);
+  ResultTable& mean_pm(const McResult& result, int sig = 4);
+  ResultTable& blank();
+
+  const std::string& id() const noexcept { return id_; }
+  const std::string& title() const noexcept { return title_; }
+  const std::vector<Column>& columns() const noexcept { return columns_; }
+  const std::vector<Row>& rows() const noexcept { return rows_; }
+
+ private:
+  ResultTable& cell(ResultCell cell);
+
+  std::string id_;     ///< machine name (CSV file suffix, JSON key)
+  std::string title_;  ///< human title (text table heading)
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+/// The structured outcome of one registered experiment run.
+struct ExperimentResult {
+  std::string name;   ///< registry name, e.g. "fig_cycle_speedup"
+  std::string claim;  ///< paper claim reproduced, e.g. "Theorem 6 (§5)"
+  /// Resolved parameters actually used, in display order (seed, n, ...).
+  std::vector<std::pair<std::string, ResultCell>> params;
+  std::vector<std::string> preamble;  ///< prose printed before the tables
+  std::vector<ResultTable> tables;
+  std::vector<std::string> notes;  ///< the paper-claim commentary afterwards
+  bool has_verdict = false;  ///< experiment checks a rigorous inequality
+  bool passed = true;        ///< verdict (true when has_verdict is false)
+  double elapsed_seconds = 0.0;
+};
+
+/// Converts a structured table into the legacy fixed-width text table.
+TextTable to_text_table(const ResultTable& table);
 
 struct ExperimentOptions {
   std::uint64_t seed = 7;
@@ -39,6 +130,11 @@ Table1Row run_table1_row(const FamilyInstance& instance,
                          std::span<const unsigned> ks,
                          const ExperimentOptions& options,
                          ThreadPool* pool = nullptr);
+
+/// Table 1 as a structured table; render_table1 is to_text_table of this,
+/// so the CLI sinks and the legacy text rendering share one layout.
+ResultTable make_table1_result_table(std::span<const Table1Row> rows,
+                                     std::span<const unsigned> ks);
 
 TextTable render_table1(std::span<const Table1Row> rows,
                         std::span<const unsigned> ks);
@@ -85,6 +181,10 @@ struct BarbellResult {
 BarbellResult run_barbell_experiment(std::span<const Vertex> ns, double c_k,
                                      const ExperimentOptions& options,
                                      ThreadPool* pool = nullptr);
+
+/// The barbell sweep as a structured table; render_barbell is
+/// to_text_table of this.
+ResultTable make_barbell_result_table(const BarbellResult& result);
 
 TextTable render_barbell(const BarbellResult& result);
 

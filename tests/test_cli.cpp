@@ -1,0 +1,269 @@
+// The experiment registry + sinks behind the `manywalks` CLI: registration
+// invariants, golden JSON/CSV serialization, reproducibility of a runner,
+// a minimal-size smoke run of every registered experiment, and the
+// docs/REPRODUCING.md coverage contract enforced in CI.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cli/presets.hpp"
+#include "cli/registry.hpp"
+#include "cli/sinks.hpp"
+
+namespace manywalks::cli {
+namespace {
+
+ExperimentResult empty_runner(const ExperimentParams&, ThreadPool&) {
+  return {};
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(Registry, DefaultRegistryHasAllExperiments) {
+  const ExperimentRegistry& registry = default_registry();
+  EXPECT_GE(registry.size(), 13u);
+  for (const Experiment* experiment : registry.list()) {
+    SCOPED_TRACE(experiment->info.name);
+    EXPECT_FALSE(experiment->info.summary.empty());
+    EXPECT_FALSE(experiment->info.claim.empty());
+    EXPECT_NE(experiment->runner, nullptr);
+    // Every registered experiment has a preset row (shared quick/--full
+    // sizes) so docs and the CLI agree on the defaults.
+    EXPECT_NE(find_preset(experiment->info.name), nullptr);
+  }
+  for (const char* name :
+       {"table1_summary", "fig_cycle_speedup", "fig_expander_speedup",
+        "fig_grid_spectrum", "fig_grid_lower_bound", "fig_barbell_speedup",
+        "fig_conjectures", "fig_matthews_bounds", "fig_mixing_bound",
+        "fig_lemma16", "fig_aldous_concentration", "fig_stationary_start",
+        "fig_start_placement"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+}
+
+TEST(Registry, FindUnknownReturnsNull) {
+  EXPECT_EQ(default_registry().find("fig_does_not_exist"), nullptr);
+  EXPECT_EQ(default_registry().find(""), nullptr);
+}
+
+TEST(Registry, DuplicateNameRejected) {
+  ExperimentRegistry registry;
+  registry.add({"exp", "summary", "claim", 1, {}}, empty_runner);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_THROW(registry.add({"exp", "other", "other", 2, {}}, empty_runner),
+               std::invalid_argument);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, RejectsEmptyNameAndNullRunner) {
+  ExperimentRegistry registry;
+  EXPECT_THROW(registry.add({"", "s", "c", 1, {}}, empty_runner),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add({"ok", "s", "c", 1, {}}, ExperimentRunner{}),
+               std::invalid_argument);
+}
+
+TEST(Registry, PresetResolutionPrefersExplicitFlags) {
+  const ExperimentPreset& preset = preset_for("fig_cycle_speedup");
+  ExperimentParams params;
+  EXPECT_EQ(resolve_n(preset, params), preset.quick_n);
+  params.full = true;
+  EXPECT_EQ(resolve_n(preset, params), preset.full_n);
+  params.n = 99;
+  EXPECT_EQ(resolve_n(preset, params), 99u);
+
+  const McOptions mc = preset_mc(100);
+  EXPECT_EQ(mc.min_trials, 25u);
+  EXPECT_EQ(mc.max_trials, 100u);
+  EXPECT_EQ(preset_mc(8).min_trials, 8u);  // floor at 8
+}
+
+// --- sinks ------------------------------------------------------------------
+
+ExperimentResult golden_result() {
+  ExperimentResult result;
+  result.name = "golden";
+  result.claim = "claim";
+  result.params.emplace_back("seed", ResultCell{std::uint64_t{7}});
+  result.params.emplace_back("full", ResultCell{false});
+  result.preamble = {"pre line"};
+  ResultTable table("tbl", "Title");
+  table.add_column("name", /*left=*/true)
+      .add_column("count")
+      .add_column("value")
+      .add_column("est");
+  table.begin_row();
+  table.text("a,b \"q\"");
+  table.count(1234567);
+  table.real(1.5, 3);
+  table.mean_pm(2.25, 0.5, 3);
+  table.rule();
+  table.begin_row();
+  table.text("line\nbreak");
+  table.count(0);
+  table.blank();
+  table.real(0.1, 4);
+  result.tables.push_back(std::move(table));
+  result.notes = {"note 1", "note 2"};
+  result.has_verdict = true;
+  result.passed = false;
+  result.elapsed_seconds = 0.5;
+  return result;
+}
+
+TEST(Sinks, JsonGolden) {
+  const std::string expected = R"json({
+  "experiment": "golden",
+  "claim": "claim",
+  "params": {
+    "seed": 7,
+    "full": false
+  },
+  "preamble": [
+    "pre line"
+  ],
+  "tables": [
+    {
+      "id": "tbl",
+      "title": "Title",
+      "columns": ["name", "count", "value", "est"],
+      "rows": [
+        ["a,b \"q\"", 1234567, 1.5, {"mean": 2.25, "half_width": 0.5}],
+        ["line\nbreak", 0, null, 0.1]
+      ]
+    }
+  ],
+  "notes": [
+    "note 1",
+    "note 2"
+  ],
+  "passed": false,
+  "elapsed_seconds": 0.5
+}
+)json";
+  EXPECT_EQ(render_json(golden_result()), expected);
+}
+
+TEST(Sinks, CsvGoldenWithMeanPmExpansionAndQuoting) {
+  const std::string expected =
+      "name,count,value,est,est (±)\n"
+      "\"a,b \"\"q\"\"\",1234567,1.5,2.25,0.5\n"
+      "\"line\nbreak\",0,,0.1,\n";
+  EXPECT_EQ(render_csv(golden_result().tables.front()), expected);
+}
+
+TEST(Sinks, TextRenderMatchesLegacyLayout) {
+  std::ostringstream os;
+  render_text(golden_result(), os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("pre line\n"), std::string::npos);
+  EXPECT_NE(text.find("Title"), std::string::npos);
+  EXPECT_NE(text.find("1,234,567"), std::string::npos);  // thousands separator
+  EXPECT_NE(text.find("note 2\n"), std::string::npos);
+  EXPECT_NE(text.find("Elapsed: 0.5 s\n"), std::string::npos);
+}
+
+TEST(Sinks, ParseOutputFormat) {
+  OutputFormat format = OutputFormat::kText;
+  EXPECT_TRUE(parse_output_format("json", &format));
+  EXPECT_EQ(format, OutputFormat::kJson);
+  EXPECT_TRUE(parse_output_format("csv", &format));
+  EXPECT_EQ(format, OutputFormat::kCsv);
+  EXPECT_TRUE(parse_output_format("text", &format));
+  EXPECT_EQ(format, OutputFormat::kText);
+  EXPECT_FALSE(parse_output_format("yaml", &format));
+}
+
+TEST(Sinks, CellTextFormatting) {
+  EXPECT_EQ(cell_text(ResultCell{}), "-");
+  EXPECT_EQ(cell_text(ResultCell{std::string("x")}), "x");
+  EXPECT_EQ(cell_text(ResultCell{std::uint64_t{1234567}}),
+            format_count(1234567));
+  EXPECT_EQ(cell_text(ResultCell{RealCell{3.14159, 3}}),
+            format_double(3.14159, 3));
+  EXPECT_EQ(cell_text(ResultCell{MeanPmCell{10.0, 2.0, 3}}),
+            format_mean_pm(10.0, 2.0, 3));
+}
+
+// --- end-to-end: runners ----------------------------------------------------
+
+ExperimentParams smoke_params(const Experiment& experiment) {
+  const std::string& name = experiment.info.name;
+  ExperimentParams params;
+  params.seed = experiment.info.default_seed;  // as the CLI driver does
+  params.trials = 8;
+  params.threads = 2;
+  params.n = 48;
+  if (name == "fig_cycle_speedup") {
+    params.n = 33;
+    params.kmax = 8;
+  } else if (name == "fig_lemma16" || name == "fig_grid_lower_bound" ||
+             name == "fig_grid_spectrum") {
+    params.n = 36;
+  } else if (name == "fig_conjectures") {
+    params.n = 32;
+  } else if (name == "fig_barbell_speedup") {
+    params.n = 31;
+  }
+  return params;
+}
+
+TEST(Runners, JsonIsDeterministicForFixedSeed) {
+  const Experiment* experiment =
+      default_registry().find("fig_cycle_speedup");
+  ASSERT_NE(experiment, nullptr);
+  const ExperimentParams params = smoke_params(*experiment);
+  ThreadPool pool(2);
+  const std::string first = render_json(experiment->run(params, pool));
+  const std::string second = render_json(experiment->run(params, pool));
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"experiment\": \"fig_cycle_speedup\""),
+            std::string::npos);
+}
+
+TEST(Runners, EveryRegisteredExperimentSmokesAtMinimalSize) {
+  ThreadPool pool(2);
+  for (const Experiment* experiment : default_registry().list()) {
+    const std::string& name = experiment->info.name;
+    SCOPED_TRACE(name);
+    const ExperimentResult result =
+        experiment->run(smoke_params(*experiment), pool);
+    EXPECT_EQ(result.name, name);
+    EXPECT_EQ(result.claim, experiment->info.claim);
+    ASSERT_FALSE(result.tables.empty());
+    for (const ResultTable& table : result.tables) {
+      SCOPED_TRACE(table.id());
+      EXPECT_FALSE(table.id().empty());
+      EXPECT_FALSE(table.columns().empty());
+      EXPECT_FALSE(table.rows().empty());
+      for (const ResultTable::Row& row : table.rows()) {
+        EXPECT_LE(row.cells.size(), table.columns().size());
+      }
+      // Each table serializes through both machine sinks.
+      EXPECT_NE(render_csv(table).find('\n'), std::string::npos);
+    }
+    EXPECT_FALSE(render_json(result).empty());
+  }
+}
+
+// --- docs contract ----------------------------------------------------------
+
+TEST(Docs, ReproducingGuideListsEveryExperiment) {
+  const std::string path =
+      std::string(MANYWALKS_SOURCE_DIR) + "/docs/REPRODUCING.md";
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good()) << "missing " << path;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string doc = buffer.str();
+  for (const Experiment* experiment : default_registry().list()) {
+    EXPECT_NE(doc.find(experiment->info.name), std::string::npos)
+        << experiment->info.name
+        << " is registered but undocumented in docs/REPRODUCING.md";
+  }
+}
+
+}  // namespace
+}  // namespace manywalks::cli
