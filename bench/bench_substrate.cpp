@@ -1,18 +1,99 @@
-// P2 — google-benchmark suite for the substrates: generator throughput,
-// BFS/property scans, spectral iteration, exact hitting-time solves, and
-// mixing-time evolution. Establishes where the exact/spectral tools stop
-// being interactive.
+// P2 — google-benchmark suite for the substrates: the walk engine over CSR
+// vs implicit substrates (steps/s per family — the perf-smoke CI artifact),
+// generator throughput, BFS/property scans, spectral iteration, exact
+// hitting-time solves, and mixing-time evolution. Establishes where the
+// exact/spectral tools stop being interactive and what the implicit layer
+// buys at scale.
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
+#include "graph/substrate.hpp"
 #include "linalg/markov.hpp"
 #include "linalg/spectral.hpp"
 #include "theory/exact.hpp"
+#include "walk/engine.hpp"
 
 namespace {
 
 using namespace manywalks;
+
+// ---------------------------------------------------------------------------
+// Walk-engine steps/s: the same 16-token k-walk advanced by the CSR-bound
+// engine and by the implicit substrate, per family. items/second ==
+// token-steps/second, so the BM_Walk* rows are directly comparable — these
+// are the rows the CI perf-smoke job archives as BENCH_substrate.json.
+// ---------------------------------------------------------------------------
+constexpr unsigned kWalkTokens = 16;
+constexpr std::uint64_t kWalkRounds = 4096;
+
+template <class Engine>
+void run_walk_rounds(benchmark::State& state, Engine& engine) {
+  const std::vector<Vertex> starts(kWalkTokens, 0);
+  Rng rng(1);
+  engine.reset(starts);
+  for (auto _ : state) {
+    engine.run_for_steps(kWalkRounds, rng);
+    benchmark::DoNotOptimize(engine.num_visited());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kWalkRounds * kWalkTokens);
+}
+
+void BM_WalkCsrCycle(benchmark::State& state) {
+  static const Graph g = make_cycle(1 << 20);
+  WalkEngine engine(g);
+  run_walk_rounds(state, engine);
+}
+void BM_WalkImplicitCycle(benchmark::State& state) {
+  WalkEngineT<CycleSubstrate> engine{CycleSubstrate(1 << 20)};
+  run_walk_rounds(state, engine);
+}
+void BM_WalkCsrTorus(benchmark::State& state) {
+  static const Graph g = make_grid_2d(1024);
+  WalkEngine engine(g);
+  run_walk_rounds(state, engine);
+}
+void BM_WalkImplicitTorus(benchmark::State& state) {
+  WalkEngineT<TorusSubstrate> engine{TorusSubstrate(1024)};
+  run_walk_rounds(state, engine);
+}
+void BM_WalkCsrHypercube(benchmark::State& state) {
+  static const Graph g = make_hypercube(20);
+  WalkEngine engine(g);
+  run_walk_rounds(state, engine);
+}
+void BM_WalkImplicitHypercube(benchmark::State& state) {
+  WalkEngineT<HypercubeSubstrate> engine{HypercubeSubstrate(20)};
+  run_walk_rounds(state, engine);
+}
+void BM_WalkCsrComplete(benchmark::State& state) {
+  static const Graph g = make_complete(4096);
+  WalkEngine engine(g);
+  run_walk_rounds(state, engine);
+}
+void BM_WalkImplicitComplete(benchmark::State& state) {
+  WalkEngineT<CompleteSubstrate> engine{CompleteSubstrate(4096)};
+  run_walk_rounds(state, engine);
+}
+/// The scale no CSR reaches: a 2^27-vertex implicit cycle (an explicit
+/// graph would be ~2.1 GiB; the engine allocates a 16 MiB tracker).
+void BM_WalkImplicitGiantCycle(benchmark::State& state) {
+  WalkEngineT<CycleSubstrate> engine{CycleSubstrate(1u << 27)};
+  run_walk_rounds(state, engine);
+}
+
+BENCHMARK(BM_WalkCsrCycle);
+BENCHMARK(BM_WalkImplicitCycle);
+BENCHMARK(BM_WalkCsrTorus);
+BENCHMARK(BM_WalkImplicitTorus);
+BENCHMARK(BM_WalkCsrHypercube);
+BENCHMARK(BM_WalkImplicitHypercube);
+BENCHMARK(BM_WalkCsrComplete);
+BENCHMARK(BM_WalkImplicitComplete);
+BENCHMARK(BM_WalkImplicitGiantCycle);
 
 void BM_GenCycle(benchmark::State& state) {
   const auto n = static_cast<Vertex>(state.range(0));

@@ -101,6 +101,11 @@ int run_experiment_main(std::string_view name, int argc, char** argv) {
   if (has_extra(info, ExtraParam::kCk)) {
     parser.add_option("ck", &params.ck, "k = ck * ln n (0 = preset)");
   }
+  if (has_extra(info, ExtraParam::kTarget)) {
+    parser.add_option("target", &params.target,
+                      "distinct-vertex coverage target (0 = preset, "
+                      "clamped to n)");
+  }
   if (!parser.parse(argc, argv)) return 1;
   if (!parse_output_format(format_text, &sink.format)) {
     std::cerr << info.name << ": unknown --format '" << format_text

@@ -142,7 +142,7 @@ ExperimentResult run_mixing_bound(const ExperimentParams& params,
       table.text(mixing.converged ? format_count(mixing.time)
                                   : "> " + format_count(mixing.time));
       table.count(p.k);
-      table.mean_pm(p.speedup, p.half_width, 3);
+      table.mean_pm(p);
       table.real(reference, 3);
       table.real(p.speedup / reference, 3);
     }

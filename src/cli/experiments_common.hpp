@@ -1,13 +1,35 @@
 // Internal helpers shared by the experiments_*.cpp registration files.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "cli/presets.hpp"
 #include "cli/registry.hpp"
+#include "util/check.hpp"
 
 namespace manywalks::cli {
+
+/// The k-sweep every speed-up experiment uses: 1, factor, factor², ... up
+/// to k_limit. Overflow-safe for any 64-bit --kmax (the limit is clamped
+/// to the unsigned range and the loop stops before k * factor can wrap).
+inline std::vector<unsigned> geometric_ks(std::uint64_t k_limit,
+                                          std::uint64_t factor = 2) {
+  MW_REQUIRE(factor >= 2, "geometric_ks needs factor >= 2, got " << factor);
+  std::vector<unsigned> ks;
+  const std::uint64_t bound = std::min<std::uint64_t>(
+      std::max<std::uint64_t>(k_limit, 1),
+      std::numeric_limits<unsigned>::max());
+  for (std::uint64_t k = 1; k <= bound; k *= factor) {
+    ks.push_back(static_cast<unsigned>(k));
+    if (k > bound / factor) break;  // k * factor would overflow past bound
+  }
+  return ks;
+}
 
 inline void push_param(ExperimentResult& result, std::string name,
                        std::uint64_t value) {

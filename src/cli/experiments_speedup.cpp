@@ -38,10 +38,7 @@ ExperimentResult run_cycle_speedup(const ExperimentParams& params,
   const ExperimentOptions options =
       preset_experiment_options(seed, target_trials);
 
-  std::vector<unsigned> ks;
-  for (std::uint64_t k = 1; k <= k_limit; k *= 2) {
-    ks.push_back(static_cast<unsigned>(k));
-  }
+  const std::vector<unsigned> ks = geometric_ks(k_limit);
 
   const SpeedupCurveResult curve =
       run_speedup_curve(instance, ks, options, &pool);
@@ -66,7 +63,7 @@ ExperimentResult run_cycle_speedup(const ExperimentParams& params,
     } else {
       table.blank();
     }
-    table.mean_pm(p.speedup, p.half_width, 3);
+    table.mean_pm(p);
     if (p.k >= 2) {
       table.real(p.speedup / std::log(static_cast<double>(p.k)), 3);
     } else {
@@ -94,10 +91,7 @@ ResultTable expander_family_table(const std::string& id,
                                   std::uint64_t k_limit,
                                   const ExperimentOptions& options,
                                   ThreadPool& pool) {
-  std::vector<unsigned> ks;
-  for (std::uint64_t k = 1; k <= k_limit; k *= 4) {
-    ks.push_back(static_cast<unsigned>(k));
-  }
+  const std::vector<unsigned> ks = geometric_ks(k_limit, /*factor=*/4);
   const SpeedupCurveResult curve =
       run_speedup_curve(instance, ks, options, &pool);
 
@@ -110,7 +104,7 @@ ResultTable expander_family_table(const std::string& id,
     table.begin_row();
     table.count(p.k);
     table.mean_pm(p.multi);
-    table.mean_pm(p.speedup, p.half_width, 3);
+    table.mean_pm(p);
     table.real(p.speedup / p.k, 3);
   }
   return table;
@@ -180,11 +174,8 @@ ExperimentResult run_grid_spectrum(const ExperimentParams& params,
   const ExperimentOptions options =
       preset_experiment_options(seed, target_trials);
 
-  std::vector<unsigned> ks;
-  for (std::uint64_t k = 1; k <= 4 * static_cast<std::uint64_t>(log3_n);
-       k *= 2) {
-    ks.push_back(static_cast<unsigned>(k));
-  }
+  const std::vector<unsigned> ks =
+      geometric_ks(4 * static_cast<std::uint64_t>(log3_n));
 
   const SpeedupCurveResult curve =
       run_speedup_curve(instance, ks, options, &pool);
@@ -209,7 +200,7 @@ ExperimentResult run_grid_spectrum(const ExperimentParams& params,
       table.text("(between)");
     }
     table.mean_pm(p.multi);
-    table.mean_pm(p.speedup, p.half_width, 3);
+    table.mean_pm(p);
     table.real(p.speedup / p.k, 3);
   }
 
@@ -362,7 +353,7 @@ ExperimentResult run_conjectures(const ExperimentParams& params,
     double min_log_ratio = 1e300;
     double max_lin_ratio = 0.0;
     for (const SpeedupEstimate& p : curve) {
-      table.mean_pm(p.speedup, p.half_width, 3);
+      table.mean_pm(p);
       min_log_ratio = std::min(
           min_log_ratio, p.speedup / std::log(static_cast<double>(p.k)));
       max_lin_ratio = std::max(max_lin_ratio, p.speedup / p.k);

@@ -11,7 +11,10 @@ namespace {
 
 // Quick presets target ~a minute on one core; --full targets the paper's
 // scales (the values are the ones the standalone drivers shipped with).
-constexpr std::array<ExperimentPreset, 13> kPresets{{
+// The giant-* experiments run on implicit substrates: their n is the
+// 10^7–10^8 range no CSR graph reaches, and `target` is the distinct-vertex
+// partial-cover goal (full cover is Θ(n²) on the cycle — infeasible there).
+constexpr std::array<ExperimentPreset, 15> kPresets{{
     {"table1_summary", 256, 4096, 120, 400},
     {"fig_cycle_speedup", 257, 1025, 150, 400, /*kmax=*/256, 4096},
     {"fig_expander_speedup", 256, 1024, 120, 300},
@@ -25,6 +28,10 @@ constexpr std::array<ExperimentPreset, 13> kPresets{{
     {"fig_aldous_concentration", 0, 0, 600, 3000},
     {"fig_stationary_start", 256, 1024, 120, 300},
     {"fig_start_placement", 256, 1024, 120, 300, 0, 0, /*k=*/16},
+    {"giant-cycle-speedup", 10'000'000, 100'000'000, 8, 16,
+     /*kmax=*/64, 256, 0, 0.0, /*target=*/4000, 20'000},
+    {"giant-torus-speedup", 10'000'000, 100'000'000, 8, 16,
+     /*kmax=*/64, 256, 0, 0.0, /*target=*/1'000'000, 4'000'000},
 }};
 
 }  // namespace
@@ -68,6 +75,12 @@ std::uint64_t resolve_k(const ExperimentPreset& preset,
 double resolve_ck(const ExperimentPreset& preset,
                   const ExperimentParams& params) {
   return params.ck != 0.0 ? params.ck : preset.default_ck;
+}
+
+std::uint64_t resolve_target(const ExperimentPreset& preset,
+                             const ExperimentParams& params) {
+  if (params.target != 0) return params.target;
+  return params.full ? preset.full_target : preset.quick_target;
 }
 
 McOptions preset_mc(std::uint64_t trials) {

@@ -23,6 +23,8 @@ struct ExperimentPreset {
   std::uint64_t full_kmax = 0;
   std::uint64_t default_k = 0;   ///< only fixed-k experiments
   double default_ck = 0.0;       ///< only k = ck·ln n experiments
+  std::uint64_t quick_target = 0;  ///< only partial-cover (giant) experiments
+  std::uint64_t full_target = 0;
 };
 
 /// The preset row for `name`; nullptr when the experiment has none.
@@ -43,6 +45,8 @@ std::uint64_t resolve_k(const ExperimentPreset& preset,
                         const ExperimentParams& params);
 double resolve_ck(const ExperimentPreset& preset,
                   const ExperimentParams& params);
+std::uint64_t resolve_target(const ExperimentPreset& preset,
+                             const ExperimentParams& params);
 
 /// The drivers' common Monte-Carlo knob: max_trials = trials,
 /// min_trials = max(trials / 4, 8).

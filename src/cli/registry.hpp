@@ -36,11 +36,12 @@ struct ExperimentParams {
   std::uint64_t k = 0;    ///< number of walks (fig_start_placement)
   std::uint64_t kmax = 0; ///< largest k in a sweep (fig_cycle_speedup)
   double ck = 0.0;        ///< k = ck·ln n coefficient (fig_barbell_speedup)
+  std::uint64_t target = 0;  ///< distinct-vertex coverage target (giant-*)
 };
 
 /// Non-shared parameters an experiment additionally accepts; the driver
-/// only exposes the matching --k/--kmax/--ck flags when declared.
-enum class ExtraParam { kK, kKmax, kCk };
+/// only exposes the matching --k/--kmax/--ck/--target flags when declared.
+enum class ExtraParam { kK, kKmax, kCk, kTarget };
 
 struct ExperimentInfo {
   std::string name;     ///< CLI name, e.g. "fig_cycle_speedup"
@@ -59,12 +60,14 @@ struct Experiment {
   ExperimentInfo info;
   ExperimentRunner runner;
 
-  /// Invokes the runner and stamps the registry's name/claim onto the
-  /// result, so the registration is the single source of truth.
+  /// Invokes the runner and stamps the registry's name/claim and the
+  /// censored-cell tally onto the result, so the registration is the
+  /// single source of truth and no runner can forget to surface censoring.
   ExperimentResult run(const ExperimentParams& params, ThreadPool& pool) const {
     ExperimentResult result = runner(params, pool);
     result.name = info.name;
     result.claim = info.claim;
+    result.censored_cells = count_censored_cells(result);
     return result;
   }
 };
@@ -96,6 +99,7 @@ void register_speedup_experiments(ExperimentRegistry& registry);
 void register_bounds_experiments(ExperimentRegistry& registry);
 void register_start_experiments(ExperimentRegistry& registry);
 void register_table1_experiment(ExperimentRegistry& registry);
+void register_giant_experiments(ExperimentRegistry& registry);
 
 /// The process-wide registry with all built-ins registered (built lazily,
 /// thread-safe via static-local initialization).

@@ -73,6 +73,7 @@ void json_cell(std::ostream& os, const ResultCell& cell) {
       json_number(os, value.mean);
       os << ", \"half_width\": ";
       json_number(os, value.half_width);
+      if (value.censored > 0) os << ", \"censored\": " << value.censored;
       os << '}';
     }
     void operator()(bool value) const { os << (value ? "true" : "false"); }
@@ -156,6 +157,11 @@ void render_text(const ExperimentResult& result, std::ostream& os) {
   for (const ResultTable& table : result.tables) {
     os << to_text_table(table) << '\n';
   }
+  if (result.censored_cells > 0) {
+    os << "WARNING: " << result.censored_cells
+       << " estimate(s) marked † include step-cap-censored trials; their "
+          "means are lower bounds.\n";
+  }
   for (const std::string& line : result.notes) os << line << '\n';
   os << "Elapsed: " << format_double(result.elapsed_seconds, 3) << " s\n";
 }
@@ -206,6 +212,7 @@ std::string render_json(const ExperimentResult& result) {
   os << "  \"notes\": ";
   json_string_array(os, result.notes);
   os << ",\n";
+  os << "  \"censored_cells\": " << result.censored_cells << ",\n";
   if (result.has_verdict) {
     os << "  \"passed\": " << (result.passed ? "true" : "false") << ",\n";
   }
@@ -219,11 +226,17 @@ std::string render_csv(const ResultTable& table) {
   const auto& columns = table.columns();
   const auto& rows = table.rows();
 
-  // A column holding any mean±half cell expands into two CSV columns.
+  // A column holding any mean±half cell expands into two CSV columns; a
+  // column with any censored estimate additionally grows a count column so
+  // lower-bound means are never machine-read as clean ones.
   std::vector<bool> has_half(columns.size(), false);
+  std::vector<bool> has_censored(columns.size(), false);
   for (const ResultTable::Row& row : rows) {
     for (std::size_t c = 0; c < row.cells.size(); ++c) {
-      if (std::holds_alternative<MeanPmCell>(row.cells[c])) has_half[c] = true;
+      if (const auto* pm = std::get_if<MeanPmCell>(&row.cells[c])) {
+        has_half[c] = true;
+        if (pm->censored > 0) has_censored[c] = true;
+      }
     }
   }
 
@@ -232,6 +245,9 @@ std::string render_csv(const ResultTable& table) {
     if (c != 0) os << ',';
     os << csv_escape(columns[c].name);
     if (has_half[c]) os << ',' << csv_escape(columns[c].name + " (±)");
+    if (has_censored[c]) {
+      os << ',' << csv_escape(columns[c].name + " (censored)");
+    }
   }
   os << '\n';
   for (const ResultTable::Row& row : rows) {
@@ -239,13 +255,15 @@ std::string render_csv(const ResultTable& table) {
       if (c != 0) os << ',';
       const ResultCell* cell = c < row.cells.size() ? &row.cells[c] : nullptr;
       if (cell != nullptr) os << csv_value(*cell);
+      const auto* pm =
+          cell != nullptr ? std::get_if<MeanPmCell>(cell) : nullptr;
       if (has_half[c]) {
         os << ',';
-        if (cell != nullptr) {
-          if (const auto* pm = std::get_if<MeanPmCell>(cell)) {
-            os << number_repr(pm->half_width);
-          }
-        }
+        if (pm != nullptr) os << number_repr(pm->half_width);
+      }
+      if (has_censored[c]) {
+        os << ',';
+        if (pm != nullptr) os << pm->censored;
       }
     }
     os << '\n';

@@ -19,7 +19,9 @@ std::string cell_text(const ResultCell& cell) {
       return format_double(value.value, value.sig);
     }
     std::string operator()(const MeanPmCell& value) const {
-      return format_mean_pm(value.mean, value.half_width, value.sig);
+      std::string text = format_mean_pm(value.mean, value.half_width, value.sig);
+      if (value.censored > 0) text += "†";  // lower bound: censored trials
+      return text;
     }
     std::string operator()(bool value) const {
       return value ? "true" : "false";
@@ -66,15 +68,35 @@ ResultTable& ResultTable::real(double value, int sig) {
   return cell(ResultCell{RealCell{value, sig}});
 }
 
-ResultTable& ResultTable::mean_pm(double mean, double half_width, int sig) {
-  return cell(ResultCell{MeanPmCell{mean, half_width, sig}});
+ResultTable& ResultTable::mean_pm(double mean, double half_width, int sig,
+                                  std::uint64_t censored) {
+  return cell(ResultCell{MeanPmCell{mean, half_width, sig, censored}});
 }
 
 ResultTable& ResultTable::mean_pm(const McResult& result, int sig) {
-  return mean_pm(result.ci.mean, result.ci.half_width, sig);
+  return mean_pm(result.ci.mean, result.ci.half_width, sig, result.censored);
+}
+
+ResultTable& ResultTable::mean_pm(const SpeedupEstimate& estimate, int sig) {
+  return mean_pm(estimate.speedup, estimate.half_width, sig,
+                 estimate.censored);
 }
 
 ResultTable& ResultTable::blank() { return cell(ResultCell{}); }
+
+std::uint64_t count_censored_cells(const ExperimentResult& result) {
+  std::uint64_t censored_cells = 0;
+  for (const ResultTable& table : result.tables) {
+    for (const ResultTable::Row& row : table.rows()) {
+      for (const ResultCell& cell : row.cells) {
+        if (const auto* pm = std::get_if<MeanPmCell>(&cell)) {
+          if (pm->censored > 0) ++censored_cells;
+        }
+      }
+    }
+  }
+  return censored_cells;
+}
 
 TextTable to_text_table(const ResultTable& table) {
   TextTable text(table.title());
@@ -158,7 +180,7 @@ ResultTable make_table1_result_table(std::span<const Table1Row> rows,
     }
     table.real(row.profile.gap);
     for (const SpeedupEstimate& s : row.speedups) {
-      table.mean_pm(s.speedup, s.half_width, 3);
+      table.mean_pm(s);
     }
     table.text(row.theory.speedup_regime);
   }
@@ -205,10 +227,14 @@ TextTable render_speedup_curve(const SpeedupCurveResult& result,
   }
   for (std::size_t i = 0; i < result.points.size(); ++i) {
     const SpeedupEstimate& p = result.points[i];
+    // Same dagger convention as the structured cells: a censored estimate
+    // is a lower bound, never rendered as clean.
     table.begin_row();
     table.cell(static_cast<std::uint64_t>(p.k));
-    table.cell(format_mean_pm(p.multi.ci.mean, p.multi.ci.half_width));
-    table.cell(format_mean_pm(p.speedup, p.half_width, 3));
+    table.cell(format_mean_pm(p.multi.ci.mean, p.multi.ci.half_width) +
+               (p.multi.censored > 0 ? "†" : ""));
+    table.cell(format_mean_pm(p.speedup, p.half_width, 3) +
+               (p.censored > 0 ? "†" : ""));
     if (have_reference) {
       table.cell(format_double(reference_values[i]));
       table.cell(format_double(

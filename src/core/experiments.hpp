@@ -29,11 +29,15 @@ struct RealCell {
   int sig = 4;
 };
 
-/// A "mean ± half-width" cell (confidence-interval estimates).
+/// A "mean ± half-width" cell (confidence-interval estimates). `censored`
+/// counts the step-cap-truncated trials behind the estimate: when nonzero
+/// the mean is a lower bound, the text renderer marks the cell with "†",
+/// JSON adds a "censored" key, and CSV grows a "(censored)" column.
 struct MeanPmCell {
   double mean = 0.0;
   double half_width = 0.0;
   int sig = 4;
+  std::uint64_t censored = 0;
 };
 
 /// One table cell: empty (renders "-"), verbatim text, an exact count, a
@@ -69,8 +73,13 @@ class ResultTable {
   ResultTable& text(std::string value);
   ResultTable& count(std::uint64_t value);
   ResultTable& real(double value, int sig = 4);
-  ResultTable& mean_pm(double mean, double half_width, int sig = 4);
+  ResultTable& mean_pm(double mean, double half_width, int sig = 4,
+                       std::uint64_t censored = 0);
+  /// Carries result.censored into the cell, so a capped estimate can never
+  /// be rendered as a clean one.
   ResultTable& mean_pm(const McResult& result, int sig = 4);
+  /// Speed-up cell: carries the censored counts of both sides of the ratio.
+  ResultTable& mean_pm(const SpeedupEstimate& estimate, int sig = 3);
   ResultTable& blank();
 
   const std::string& id() const noexcept { return id_; }
@@ -99,8 +108,16 @@ struct ExperimentResult {
   std::vector<std::string> notes;  ///< the paper-claim commentary afterwards
   bool has_verdict = false;  ///< experiment checks a rigorous inequality
   bool passed = true;        ///< verdict (true when has_verdict is false)
+  /// Number of reported estimates (MeanPm cells) built from at least one
+  /// step-cap-censored trial; stamped by the registry after the runner
+  /// returns, rendered by every sink (JSON key, text warning).
+  std::uint64_t censored_cells = 0;
   double elapsed_seconds = 0.0;
 };
+
+/// Counts the MeanPm cells flagged censored across all of the result's
+/// tables (the value stamped into ExperimentResult::censored_cells).
+std::uint64_t count_censored_cells(const ExperimentResult& result);
 
 /// Converts a structured table into the legacy fixed-width text table.
 TextTable to_text_table(const ResultTable& table);

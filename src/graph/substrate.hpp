@@ -1,0 +1,206 @@
+// Implicit graph substrates: the scale-out layer under the walk engine.
+//
+// A CSR `Graph` caps every experiment at the memory of an explicit edge
+// list (a 10^8-vertex cycle is ~1.6 GB of CSR) long before the paper's
+// asymptotics are visible. A Substrate is the minimal adjacency interface
+// the walk hot path actually needs — num_vertices / degree / neighbor —
+// and the families with closed-form adjacency (cycle, 2-d torus,
+// hypercube, complete graph) implement it in O(1) space, so the only O(n)
+// allocation left in a cover trial is the n/8-byte visit tracker.
+//
+// Binding contract (see docs/ARCHITECTURE.md "Substrates"):
+//   * substrates are small trivially-copyable value types, stored by value
+//     in WalkEngineT and compared with == for cache rebinding;
+//   * `neighbor(v, i)` for 0 <= i < degree(v) enumerates the same arc
+//     multiset as the equivalent CSR graph, so the simple random walk has
+//     the identical law. Cycle/torus/complete additionally enumerate in
+//     CSR (ascending) order, making their engines RNG-stream bit-identical
+//     to the CSR instantiation; the hypercube uses bit order (a per-vertex
+//     permutation of the CSR row — same walk law, different stream);
+//   * every substrate is walkable by construction (min degree >= 1), so
+//     engines skip the per-trial walkability re-validation a raw Graph
+//     needs.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <type_traits>
+
+#include "graph/graph.hpp"
+#include "util/check.hpp"
+
+namespace manywalks {
+
+/// The adjacency interface of the walk hot path. Trivial copyability keeps
+/// `Graph` itself out of the overload set (samplers take substrates by
+/// value) and lets the engine's inner loop hold a register-resident copy.
+template <class S>
+concept Substrate =
+    std::is_trivially_copyable_v<S> && std::equality_comparable<S> &&
+    requires(const S s, Vertex v, Vertex i) {
+      { s.num_vertices() } -> std::convertible_to<Vertex>;
+      { s.degree(v) } -> std::convertible_to<Vertex>;
+      { s.neighbor(v, i) } -> std::convertible_to<Vertex>;
+    };
+
+/// Wraps a Graph's live CSR arrays (pointers, not a copy — the Graph must
+/// outlive the substrate, exactly like the historical WalkEngine binding).
+/// Equality compares the array identities, so a cached engine can never
+/// silently run against a different graph.
+class CsrSubstrate {
+ public:
+  explicit CsrSubstrate(const Graph& g)
+      : row_(g.offsets().data()),
+        adj_(g.targets().data()),
+        num_vertices_(g.num_vertices()) {
+    // Uphold the substrate invariant (walkable by construction): a
+    // degree-0 vertex would make neighbor() read past its empty row.
+    MW_REQUIRE(num_vertices_ >= 1, "CSR substrate needs at least one vertex");
+    MW_REQUIRE(g.min_degree() >= 1,
+               "CSR substrate needs min degree >= 1 (isolated vertex)");
+  }
+
+  Vertex num_vertices() const noexcept { return num_vertices_; }
+  Vertex degree(Vertex v) const noexcept {
+    return static_cast<Vertex>(row_[v + 1] - row_[v]);
+  }
+  Vertex neighbor(Vertex v, Vertex i) const noexcept {
+    return adj_[row_[v] + i];
+  }
+
+  /// True iff this substrate reads exactly g's live CSR arrays. A pure
+  /// comparison (never throws), unlike constructing a CsrSubstrate from g
+  /// — so WalkEngine::bound_to stays a query even for invalid graphs.
+  bool reads_arrays_of(const Graph& g) const noexcept {
+    return row_ == g.offsets().data() && adj_ == g.targets().data() &&
+           num_vertices_ == g.num_vertices();
+  }
+
+  bool operator==(const CsrSubstrate&) const noexcept = default;
+
+ private:
+  const std::uint64_t* row_;  // |V|+1 entries, from Graph::offsets()
+  const Vertex* adj_;         // num_arcs entries, from Graph::targets()
+  Vertex num_vertices_;
+};
+
+/// Cycle L_n in O(1) space. Neighbor order matches make_cycle's sorted CSR
+/// rows, so cover samples are bit-identical to the CSR engine per stream.
+class CycleSubstrate {
+ public:
+  explicit CycleSubstrate(Vertex n) : n_(n) {
+    MW_REQUIRE(n >= 3, "cycle substrate needs n >= 3, got " << n);
+  }
+
+  Vertex num_vertices() const noexcept { return n_; }
+  Vertex degree(Vertex) const noexcept { return 2; }
+  Vertex neighbor(Vertex v, Vertex i) const noexcept {
+    const Vertex prev = v == 0 ? n_ - 1 : v - 1;
+    const Vertex next = v + 1 == n_ ? 0 : v + 1;
+    const Vertex lo = std::min(prev, next);
+    const Vertex hi = std::max(prev, next);
+    return i == 0 ? lo : hi;
+  }
+
+  bool operator==(const CycleSubstrate&) const noexcept = default;
+
+ private:
+  Vertex n_;
+};
+
+/// side x side 2-d torus (make_grid_2d's row-major indexing: v = x*side+y).
+/// The four wrap-around neighbors are returned in ascending (CSR) order.
+class TorusSubstrate {
+ public:
+  explicit TorusSubstrate(Vertex side)
+      : side_(side), n_(side * side) {
+    MW_REQUIRE(side >= 3, "torus substrate needs side >= 3, got " << side);
+    MW_REQUIRE(n_ / side == side, "torus side " << side << " overflows Vertex");
+  }
+
+  Vertex side() const noexcept { return side_; }
+  Vertex num_vertices() const noexcept { return n_; }
+  Vertex degree(Vertex) const noexcept { return 4; }
+  Vertex neighbor(Vertex v, Vertex i) const noexcept {
+    const Vertex x = v / side_;
+    const Vertex y = v - x * side_;
+    const Vertex xm = x == 0 ? side_ - 1 : x - 1;
+    const Vertex xp = x + 1 == side_ ? 0 : x + 1;
+    const Vertex ym = y == 0 ? side_ - 1 : y - 1;
+    const Vertex yp = y + 1 == side_ ? 0 : y + 1;
+    Vertex a = xm * side_ + y;
+    Vertex b = xp * side_ + y;
+    Vertex c = x * side_ + ym;
+    Vertex d = x * side_ + yp;
+    // 5-exchange sorting network; side >= 3 keeps all four distinct.
+    if (a > b) std::swap(a, b);
+    if (c > d) std::swap(c, d);
+    if (a > c) std::swap(a, c);
+    if (b > d) std::swap(b, d);
+    if (b > c) std::swap(b, c);
+    const Vertex sorted[4] = {a, b, c, d};
+    return sorted[i];
+  }
+
+  bool operator==(const TorusSubstrate&) const noexcept = default;
+
+ private:
+  Vertex side_;
+  Vertex n_;
+};
+
+/// Hypercube on 2^dimension vertices: neighbor i flips bit i. That is a
+/// per-vertex permutation of the sorted CSR row — the walk law matches
+/// make_hypercube exactly, but streams are not bit-comparable to CSR.
+class HypercubeSubstrate {
+ public:
+  explicit HypercubeSubstrate(unsigned dimension) : dimension_(dimension) {
+    MW_REQUIRE(dimension >= 1 && dimension < 32,
+               "hypercube substrate needs dimension in [1,32), got "
+                   << dimension);
+  }
+
+  unsigned dimension() const noexcept { return dimension_; }
+  Vertex num_vertices() const noexcept { return Vertex{1} << dimension_; }
+  Vertex degree(Vertex) const noexcept {
+    return static_cast<Vertex>(dimension_);
+  }
+  Vertex neighbor(Vertex v, Vertex i) const noexcept {
+    return v ^ (Vertex{1} << i);
+  }
+
+  bool operator==(const HypercubeSubstrate&) const noexcept = default;
+
+ private:
+  unsigned dimension_;
+};
+
+/// Complete graph K_n (no self loops): neighbor list of v is every other
+/// vertex in ascending order, matching make_complete's CSR rows.
+class CompleteSubstrate {
+ public:
+  explicit CompleteSubstrate(Vertex n) : n_(n) {
+    MW_REQUIRE(n >= 2, "complete substrate needs n >= 2, got " << n);
+  }
+
+  Vertex num_vertices() const noexcept { return n_; }
+  Vertex degree(Vertex) const noexcept { return n_ - 1; }
+  Vertex neighbor(Vertex v, Vertex i) const noexcept {
+    return i + (i >= v ? 1 : 0);
+  }
+
+  bool operator==(const CompleteSubstrate&) const noexcept = default;
+
+ private:
+  Vertex n_;
+};
+
+static_assert(Substrate<CsrSubstrate>);
+static_assert(Substrate<CycleSubstrate>);
+static_assert(Substrate<TorusSubstrate>);
+static_assert(Substrate<HypercubeSubstrate>);
+static_assert(Substrate<CompleteSubstrate>);
+static_assert(!Substrate<Graph>, "Graph must go through CsrSubstrate");
+
+}  // namespace manywalks

@@ -90,6 +90,10 @@ SpeedupEstimate combine_speedup(unsigned k, const McResult& single,
   const double rel1 = single.ci.half_width / single.ci.mean;
   const double relk = multi.ci.half_width / multi.ci.mean;
   est.half_width = est.speedup * std::sqrt(rel1 * rel1 + relk * relk);
+  // Censored inputs mean both means are lower bounds, so their ratio is
+  // biased in an unknown direction; carry the count so every renderer
+  // flags the estimate instead of presenting it as clean.
+  est.censored = single.censored + multi.censored;
   return est;
 }
 
@@ -139,33 +143,13 @@ SpeedupEstimate estimate_speedup(const Graph& g, Vertex start, unsigned k,
 std::vector<SpeedupEstimate> estimate_speedup_curve(
     const Graph& g, Vertex start, std::span<const unsigned> ks,
     const McOptions& mc, const CoverOptions& cover, ThreadPool* pool) {
-  MW_REQUIRE(!ks.empty(), "need at least one k");
-  std::unique_ptr<ThreadPool> local_pool;
-  if (pool == nullptr) {
-    local_pool = std::make_unique<ThreadPool>(mc.threads);
-    pool = local_pool.get();
-  }
-  McOptions base = mc;
-  base.seed = mix64(mc.seed ^ 0x1a1cULL);  // distinct stream for the baseline
-  const McResult single = estimate_cover_time(g, start, base, cover, pool);
-
-  std::vector<SpeedupEstimate> curve;
-  curve.reserve(ks.size());
-  for (unsigned k : ks) {
-    MW_REQUIRE(k >= 1, "k must be >= 1");
-    McOptions per_k = mc;
-    per_k.seed = mix64(mc.seed ^ (0xbeef00ULL + k));
-    const McResult multi =
-        k == 1 ? single : estimate_k_cover_time(g, start, k, per_k, cover, pool);
-    SpeedupEstimate est = combine_speedup(k, single, multi);
-    if (k == 1) {
-      // Numerator and denominator are the same estimate: S^1 is exactly 1
-      // with no uncertainty (perfectly correlated errors).
-      est.half_width = 0.0;
-    }
-    curve.push_back(est);
-  }
-  return curve;
+  // One implementation for both paths: the CSR substrate consumes the
+  // exact draw sequence of the historical Graph path (same per-k seed
+  // constants, same trial streams), so delegating changes no number —
+  // proven by tests/test_substrate.cpp SpeedupCurveMatchesGraphEstimatorSeeding.
+  return estimate_speedup_curve_to_target(CsrSubstrate(g), start,
+                                          g.num_vertices(), ks, mc, cover,
+                                          pool);
 }
 
 }  // namespace manywalks

@@ -30,12 +30,16 @@ McResult run_monte_carlo(const TrialFn& trial, const McOptions& options,
 
   std::uint64_t done = 0;
   while (done < options.max_trials) {
-    // Batch size: enough to keep all workers busy, but no further than the
-    // trial budget; the first batch covers min_trials so the CI is
-    // meaningful at the first check.
+    // Batch size: the first batch covers min_trials so the CI is
+    // meaningful at the first check; afterwards batches grow geometrically
+    // (each rendezvous doubles the completed-trial count, floored at
+    // enough work to keep every worker busy, capped by the remaining
+    // budget). Cheap small-n trials would otherwise pay a full
+    // parallel_for submit + condition-variable rendezvous per ~8 trials.
+    const std::uint64_t floor_batch =
+        std::max<std::uint64_t>(2ULL * (pool->size() + 1), 8);
     const std::uint64_t want =
-        done == 0 ? options.min_trials
-                  : std::max<std::uint64_t>(2ULL * (pool->size() + 1), 8);
+        done == 0 ? options.min_trials : std::max(floor_batch, done);
     const std::uint64_t batch = std::min(want, options.max_trials - done);
     batch_values.assign(batch, TrialOutcome{});
     parallel_for(
@@ -46,7 +50,9 @@ McResult run_monte_carlo(const TrialFn& trial, const McOptions& options,
           batch_values[i] = trial(index, rng);
         },
         /*grain=*/1);
-    // Index-ordered reduction keeps the result independent of scheduling.
+    // Index-ordered reduction keeps the result independent of scheduling
+    // AND of batch boundaries: stats absorb trial 0, 1, 2, ... in order no
+    // matter how the batches were cut.
     for (const TrialOutcome& outcome : batch_values) {
       result.stats.add(outcome.value);
       if (outcome.censored) ++result.censored;
@@ -55,7 +61,12 @@ McResult run_monte_carlo(const TrialFn& trial, const McOptions& options,
 
     if (done >= options.min_trials) {
       result.ci = mean_confidence_interval(result.stats, options.confidence);
-      if (result.ci.relative_half_width() <= options.target_rel_half_width) {
+      // A censored (step-cap-truncated) trial makes the mean a lower bound
+      // and the CI meaningless as a precision certificate: never stop
+      // early on it and never report the target as met (the old behavior
+      // silently biased every estimate whose cap ever fired).
+      if (result.censored == 0 &&
+          result.ci.relative_half_width() <= options.target_rel_half_width) {
         result.target_met = true;
         break;
       }
@@ -63,6 +74,7 @@ McResult run_monte_carlo(const TrialFn& trial, const McOptions& options,
   }
   result.ci = mean_confidence_interval(result.stats, options.confidence);
   result.target_met =
+      result.censored == 0 &&
       result.ci.relative_half_width() <= options.target_rel_half_width;
   result.seconds = watch.seconds();
   return result;

@@ -30,8 +30,14 @@ struct McOptions {
 struct McResult {
   ConfidenceInterval ci;
   RunningStats stats;
-  bool target_met = false;       ///< CI target reached before max_trials
-  std::uint64_t censored = 0;    ///< trials reporting a truncated value
+  /// CI target reached before max_trials. NEVER true when any trial was
+  /// censored: a step-cap-truncated value makes the mean a lower bound, so
+  /// a tight CI around it certifies nothing.
+  bool target_met = false;
+  /// Trials reporting a truncated value; when nonzero, ci.mean is a lower
+  /// bound and downstream consumers (combine_speedup, the CLI sinks) flag
+  /// the estimate instead of treating it as unbiased.
+  std::uint64_t censored = 0;
   double seconds = 0.0;          ///< wall clock spent
 };
 

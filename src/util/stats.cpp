@@ -92,18 +92,91 @@ double normal_quantile(double p) {
   return x;
 }
 
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Continued fraction for the regularized incomplete beta function
+/// (modified Lentz; the classic betacf of Numerical Recipes). Converges in
+/// a handful of iterations for x < (a+1)/(a+b+2).
+double incomplete_beta_cf(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 1e-15;
+  constexpr double kTiny = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double dm = static_cast<double>(m);
+    const double m2 = 2.0 * dm;
+    double aa = dm * (b - dm) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + dm) * (qab + dm) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+/// Regularized incomplete beta I_x(a, b), accurate to ~1e-14.
+double regularized_incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * incomplete_beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * incomplete_beta_cf(b, a, 1.0 - x) / b;
+}
+
+double student_t_pdf(double t, double v) {
+  return std::exp(std::lgamma((v + 1.0) / 2.0) - std::lgamma(v / 2.0)) /
+         std::sqrt(v * kPi) * std::pow(1.0 + t * t / v, -(v + 1.0) / 2.0);
+}
+
+}  // namespace
+
+double student_t_cdf(double t, std::uint64_t dof) {
+  MW_REQUIRE(dof >= 1, "student_t_cdf requires dof >= 1");
+  const double v = static_cast<double>(dof);
+  const double x = v / (v + t * t);
+  const double tail = 0.5 * regularized_incomplete_beta(v / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
 double student_t_quantile(double p, std::uint64_t dof) {
   MW_REQUIRE(p > 0.0 && p < 1.0, "student_t_quantile requires p in (0,1)");
   MW_REQUIRE(dof >= 1, "student_t_quantile requires dof >= 1");
   if (dof == 1) {
     // Cauchy quantile.
-    return std::tan(3.14159265358979323846 * (p - 0.5));
+    return std::tan(kPi * (p - 0.5));
   }
   if (dof == 2) {
     const double a = 2.0 * p - 1.0;
     return a * std::sqrt(2.0 / (1.0 - a * a));
   }
-  // Cornish–Fisher style expansion (Abramowitz & Stegun 26.7.5).
+  // Starting point: the Cornish–Fisher style expansion (Abramowitz &
+  // Stegun 26.7.5). It is off by up to ~2% at dof 3–10, so it is only the
+  // seed for Newton on the exact CDF below.
   const double z = normal_quantile(p);
   const double v = static_cast<double>(dof);
   const double z3 = z * z * z;
@@ -116,6 +189,19 @@ double student_t_quantile(double p, std::uint64_t dof) {
   t += (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / (384.0 * v * v * v);
   t += (79.0 * z9 + 776.0 * z7 + 1482.0 * z5 - 1920.0 * z3 - 945.0 * z) /
        (92160.0 * v * v * v * v);
+
+  // Newton polish against the exact CDF: the CDF is smooth and monotone
+  // and the seed is within a few percent, so this converges to ~1e-12 in
+  // 2–4 iterations.
+  for (int iteration = 0; iteration < 32; ++iteration) {
+    const double error = student_t_cdf(t, dof) - p;
+    if (std::abs(error) < 1e-14) break;
+    const double density = student_t_pdf(t, v);
+    if (!(density > 0.0)) break;
+    const double step = error / density;
+    t -= step;
+    if (std::abs(step) < 1e-12 * std::max(1.0, std::abs(t))) break;
+  }
   return t;
 }
 

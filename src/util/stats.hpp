@@ -54,9 +54,16 @@ struct ConfidenceInterval {
 /// approximation; |error| < 1.2e-9). Requires 0 < p < 1.
 double normal_quantile(double p);
 
+/// CDF of Student's t distribution with `dof` degrees of freedom, computed
+/// from the regularized incomplete beta function (accurate to ~1e-14).
+double student_t_cdf(double t, std::uint64_t dof);
+
 /// Quantile of Student's t distribution with `dof` degrees of freedom.
-/// Exact for dof in {1, 2}; Cornish–Fisher expansion otherwise (accurate to
-/// ~1e-3 for dof >= 3, converging to the normal quantile for large dof).
+/// Exact closed forms for dof in {1, 2}; otherwise the A&S 26.7.5
+/// expansion is used only as the starting point and polished by Newton
+/// iteration on the exact CDF to ~1e-12. (The raw expansion is off by
+/// up to ~2% at dof 3–10 — and dof 7 confidence intervals are routine,
+/// because preset_mc floors min_trials at 8.)
 double student_t_quantile(double p, std::uint64_t dof);
 
 /// Two-sided CI for the mean using Student's t (normal for count >= 200).

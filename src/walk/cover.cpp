@@ -2,63 +2,40 @@
 
 #include <algorithm>
 #include <cmath>
-#include <optional>
 
 #include "util/check.hpp"
 #include "walk/engine.hpp"
-#include "walk/walker.hpp"
 
 namespace manywalks {
 
-namespace {
-
-/// Reusable per-thread engine: a Monte-Carlo estimate calls these samplers
-/// thousands of times on the same graph (from pool worker threads), and
-/// constructing an engine per call would pay an allocation every trial.
-/// The binding is verified against the graph's live CSR data pointers —
-/// not the Graph's address — so a pointer match means the engine reads
-/// exactly g's current arrays; walkability is still re-validated on every
-/// call (O(1): Graph caches its min degree) in case the allocator handed a
-/// new graph the same blocks.
-WalkEngine& pooled_engine(const Graph& g) {
-  thread_local std::optional<WalkEngine> engine;
-  if (!engine.has_value() || !engine->bound_to(g)) {
-    engine.emplace(g);
-  } else {
-    require_walkable(g);
-  }
-  return *engine;
-}
-
-/// Shared k-walk trial: one engine run until `target` distinct vertices are
-/// visited or the cap is reached.
-CoverSample run_until_visited(const Graph& g, std::span<const Vertex> starts,
-                              Vertex target, Rng& rng,
-                              const CoverOptions& options) {
-  WalkEngine& engine = pooled_engine(g);
-  engine.reset(starts);
-  return engine.run_until_visited(target, rng, options);
-}
-
-}  // namespace
+// The Graph-facing samplers are thin delegations through CsrSubstrate:
+// constructing the substrate per call revalidates walkability in O(1)
+// (Graph caches its min degree) — the guard against the allocator handing
+// a new graph the same blocks as a cached engine's — and the per-thread
+// pooled WalkEngineT<CsrSubstrate> in cover.hpp rebinds on array identity
+// exactly as the historical pooled WalkEngine did. RNG streams are
+// unchanged (tests/test_engine.cpp, tests/test_substrate.cpp).
 
 CoverSample sample_cover_time(const Graph& g, Vertex start, Rng& rng,
                               const CoverOptions& options) {
   const Vertex starts[1] = {start};
-  return run_until_visited(g, starts, g.num_vertices(), rng, options);
+  return sample_cover_to_target(CsrSubstrate(g), starts, g.num_vertices(),
+                                rng, options);
 }
 
 CoverSample sample_multi_cover_time(const Graph& g,
                                     std::span<const Vertex> starts, Rng& rng,
                                     const CoverOptions& options) {
-  return run_until_visited(g, starts, g.num_vertices(), rng, options);
+  return sample_cover_to_target(CsrSubstrate(g), starts, g.num_vertices(),
+                                rng, options);
 }
 
 CoverSample sample_k_cover_time(const Graph& g, Vertex start, unsigned k,
                                 Rng& rng, const CoverOptions& options) {
   MW_REQUIRE(k >= 1, "k must be >= 1");
   std::vector<Vertex> starts(k, start);
-  return run_until_visited(g, starts, g.num_vertices(), rng, options);
+  return sample_cover_to_target(CsrSubstrate(g), starts, g.num_vertices(),
+                                rng, options);
 }
 
 CoverSample sample_partial_cover_time(const Graph& g,
@@ -68,8 +45,8 @@ CoverSample sample_partial_cover_time(const Graph& g,
   MW_REQUIRE(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
   const auto target = static_cast<Vertex>(
       std::ceil(fraction * static_cast<double>(g.num_vertices())));
-  return run_until_visited(g, starts, std::max<Vertex>(target, 1), rng,
-                           options);
+  return sample_cover_to_target(CsrSubstrate(g), starts,
+                                std::max<Vertex>(target, 1), rng, options);
 }
 
 CoverageCurve sample_coverage_curve(const Graph& g,
@@ -80,7 +57,7 @@ CoverageCurve sample_coverage_curve(const Graph& g,
   MW_REQUIRE(record_every >= 1, "record_every must be >= 1");
   MW_REQUIRE(options.laziness >= 0.0 && options.laziness < 1.0,
              "laziness must be in [0,1)");
-  WalkEngine& engine = pooled_engine(g);
+  auto& engine = pooled_substrate_engine(CsrSubstrate(g));
   engine.reset(starts);
 
   CoverageCurve curve;
@@ -103,7 +80,7 @@ std::vector<std::uint64_t> sample_visit_counts(const Graph& g, Vertex start,
                                                std::uint64_t num_steps,
                                                Rng& rng,
                                                const CoverOptions& options) {
-  WalkEngine& engine = pooled_engine(g);
+  auto& engine = pooled_substrate_engine(CsrSubstrate(g));
   const Vertex starts[1] = {start};
   engine.reset(starts);
   std::vector<std::uint64_t> counts(g.num_vertices(), 0);

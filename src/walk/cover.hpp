@@ -1,5 +1,6 @@
 // Cover-time sampling for single walks and k-walks (the paper's central
-// random variables τ_i and τ^k_i).
+// random variables τ_i and τ^k_i), over explicit CSR graphs and over
+// implicit substrates (graph/substrate.hpp).
 //
 // Timing convention: the starting vertices count as visited at t = 0, and
 // in each round every token takes one step. The sampled value is the first
@@ -10,28 +11,19 @@
 #pragma once
 
 #include <cstdint>
-#include <limits>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/substrate.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
+#include "walk/cover_types.hpp"
+#include "walk/engine.hpp"
 #include "walk/visit_tracker.hpp"
 
 namespace manywalks {
-
-struct CoverOptions {
-  /// Probability of a token staying put each step (0 = simple walk).
-  double laziness = 0.0;
-  /// Safety cap on rounds; a sample that reaches the cap reports
-  /// covered=false with steps=step_cap.
-  std::uint64_t step_cap = std::numeric_limits<std::uint64_t>::max();
-};
-
-struct CoverSample {
-  std::uint64_t steps = 0;  ///< rounds until coverage (or the cap)
-  bool covered = false;     ///< false iff the cap was hit first
-};
 
 /// One cover-time sample of a single walk from `start`. (All the samplers
 /// here amortize engine construction via a per-thread WalkEngine; callers
@@ -80,5 +72,63 @@ std::vector<std::uint64_t> sample_visit_counts(const Graph& g, Vertex start,
                                                std::uint64_t num_steps,
                                                Rng& rng,
                                                const CoverOptions& options = {});
+
+// --- substrate overloads -----------------------------------------------------
+//
+// The same samplers over an implicit (or CSR-wrapping) substrate. On an
+// implicit substrate no CSR is ever built: the per-thread engine's
+// n/8-byte visit tracker is the only O(n) allocation, which is what lets
+// the giant-graph experiments run at n = 10^7–10^8.
+
+/// Reusable per-thread engine, one cached instance per substrate TYPE per
+/// thread (cf. the pooled CSR engine in cover.cpp): a Monte-Carlo estimate
+/// calls the samplers thousands of times on the same substrate from pool
+/// worker threads, and rebinding is a value comparison away.
+template <Substrate S>
+WalkEngineT<S>& pooled_substrate_engine(const S& substrate) {
+  thread_local std::optional<WalkEngineT<S>> engine;
+  if (!engine.has_value() || !(engine->substrate() == substrate)) {
+    engine.emplace(substrate);
+  }
+  return *engine;
+}
+
+/// One k-walk trial run until `target` distinct vertices are visited or
+/// the cap is reached (the primitive the fixed-target giant experiments
+/// sample: full cover at n = 10^8 is out of reach, partial cover is not).
+template <Substrate S>
+CoverSample sample_cover_to_target(const S& substrate,
+                                   std::span<const Vertex> starts,
+                                   Vertex target, Rng& rng,
+                                   const CoverOptions& options = {}) {
+  WalkEngineT<S>& engine = pooled_substrate_engine(substrate);
+  engine.reset(starts);
+  return engine.run_until_visited(target, rng, options);
+}
+
+template <Substrate S>
+CoverSample sample_cover_time(const S& substrate, Vertex start, Rng& rng,
+                              const CoverOptions& options = {}) {
+  const Vertex starts[1] = {start};
+  return sample_cover_to_target(substrate, starts, substrate.num_vertices(),
+                                rng, options);
+}
+
+template <Substrate S>
+CoverSample sample_multi_cover_time(const S& substrate,
+                                    std::span<const Vertex> starts, Rng& rng,
+                                    const CoverOptions& options = {}) {
+  return sample_cover_to_target(substrate, starts, substrate.num_vertices(),
+                                rng, options);
+}
+
+template <Substrate S>
+CoverSample sample_k_cover_time(const S& substrate, Vertex start, unsigned k,
+                                Rng& rng, const CoverOptions& options = {}) {
+  MW_REQUIRE(k >= 1, "k must be >= 1");
+  std::vector<Vertex> starts(k, start);
+  return sample_cover_to_target(substrate, starts, substrate.num_vertices(),
+                                rng, options);
+}
 
 }  // namespace manywalks

@@ -1,0 +1,25 @@
+// The option/sample types shared by the cover samplers (walk/cover.hpp)
+// and the walk engine (walk/engine.hpp). Split out so cover.hpp can build
+// substrate samplers on top of the engine template without an include
+// cycle.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace manywalks {
+
+struct CoverOptions {
+  /// Probability of a token staying put each step (0 = simple walk).
+  double laziness = 0.0;
+  /// Safety cap on rounds; a sample that reaches the cap reports
+  /// covered=false with steps=step_cap.
+  std::uint64_t step_cap = std::numeric_limits<std::uint64_t>::max();
+};
+
+struct CoverSample {
+  std::uint64_t steps = 0;  ///< rounds until coverage (or the cap)
+  bool covered = false;     ///< false iff the cap was hit first
+};
+
+}  // namespace manywalks

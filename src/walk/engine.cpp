@@ -1,137 +1,17 @@
 #include "walk/engine.hpp"
 
-#include "util/check.hpp"
-#include "walk/walker.hpp"
-
 namespace manywalks {
 
-namespace {
+// The hot loops compile here once, with the substrate accessors inlined
+// into the round loop, instead of in every including translation unit.
+template class WalkEngineT<CsrSubstrate>;
+template class WalkEngineT<CycleSubstrate>;
+template class WalkEngineT<TorusSubstrate>;
+template class WalkEngineT<HypercubeSubstrate>;
+template class WalkEngineT<CompleteSubstrate>;
 
-/// One token step over raw CSR pointers. Draw order matches walker.hpp:
-/// lazy walks spend one uniform01 before the (possibly skipped) neighbor
-/// draw; simple walks spend exactly one uniform_below(degree).
-template <bool kLazy>
-inline Vertex advance_token(Vertex v, const std::uint64_t* row,
-                            const Vertex* adj, Rng& rng, double laziness) {
-  if constexpr (kLazy) {
-    if (rng.uniform01() < laziness) return v;
-  }
-  const std::uint64_t off = row[v];
-  const auto degree = static_cast<Vertex>(row[v + 1] - off);
-  return adj[off + rng.uniform_below(degree)];
-}
-
-}  // namespace
-
+// Walkability (min degree >= 1) is validated by CsrSubstrate itself.
 WalkEngine::WalkEngine(const Graph& g)
-    : row_offsets_(g.offsets().data()),
-      neighbors_(g.targets().data()),
-      num_vertices_(g.num_vertices()),
-      tracker_(g.num_vertices()) {
-  require_walkable(g);
-}
-
-void WalkEngine::reset(std::span<const Vertex> starts) {
-  MW_REQUIRE(!starts.empty(), "k-walk needs at least one token");
-  tracker_.reset();
-  tokens_.assign(starts.begin(), starts.end());
-  for (Vertex s : tokens_) {
-    MW_REQUIRE(s < num_vertices_, "start vertex out of range");
-    tracker_.visit(s);
-  }
-}
-
-CoverSample WalkEngine::run_until_visited(Vertex target, Rng& rng,
-                                          const CoverOptions& options) {
-  MW_REQUIRE(!tokens_.empty(), "no tokens; call reset() before running");
-  MW_REQUIRE(target <= num_vertices_,
-             "target " << target << " exceeds num_vertices " << num_vertices_);
-  MW_REQUIRE(options.laziness >= 0.0 && options.laziness < 1.0,
-             "laziness must be in [0,1)");
-  CoverSample sample;
-  if (tracker_.num_visited() >= target) {
-    sample.covered = true;
-    return sample;
-  }
-  return options.laziness > 0.0
-             ? run_until_visited_impl<true>(target, rng, options)
-             : run_until_visited_impl<false>(target, rng, options);
-}
-
-template <bool kLazy>
-CoverSample WalkEngine::run_until_visited_impl(Vertex target, Rng& rng,
-                                               const CoverOptions& options) {
-  const std::uint64_t* const row = row_offsets_;
-  const Vertex* const adj = neighbors_;
-  Vertex* const toks = tokens_.data();
-  std::uint64_t* const words = tracker_.words();
-  const std::size_t k = tokens_.size();
-  const double laziness = options.laziness;
-  Vertex visited = tracker_.num_visited();
-
-  CoverSample sample;
-  std::uint64_t t = 0;
-  while (t < options.step_cap) {
-    ++t;
-    for (std::size_t i = 0; i < k; ++i) {
-      const Vertex v = advance_token<kLazy>(toks[i], row, adj, rng, laziness);
-      toks[i] = v;
-      std::uint64_t& word = words[v >> 6];
-      const std::uint64_t bit = std::uint64_t{1} << (v & 63);
-      if ((word & bit) == 0) {
-        word |= bit;
-        ++visited;
-      }
-    }
-    if (visited >= target) {
-      tracker_.set_num_visited(visited);
-      sample.steps = t;
-      sample.covered = true;
-      return sample;
-    }
-  }
-  tracker_.set_num_visited(visited);
-  sample.steps = options.step_cap;
-  sample.covered = false;
-  return sample;
-}
-
-void WalkEngine::run_for_steps(std::uint64_t rounds, Rng& rng, double laziness,
-                               std::uint64_t* visit_counts) {
-  MW_REQUIRE(!tokens_.empty(), "no tokens; call reset() before running");
-  MW_REQUIRE(laziness >= 0.0 && laziness < 1.0, "laziness must be in [0,1)");
-  if (laziness > 0.0) {
-    run_for_steps_impl<true>(rounds, rng, laziness, visit_counts);
-  } else {
-    run_for_steps_impl<false>(rounds, rng, laziness, visit_counts);
-  }
-}
-
-template <bool kLazy>
-void WalkEngine::run_for_steps_impl(std::uint64_t rounds, Rng& rng,
-                                    double laziness,
-                                    std::uint64_t* visit_counts) {
-  const std::uint64_t* const row = row_offsets_;
-  const Vertex* const adj = neighbors_;
-  Vertex* const toks = tokens_.data();
-  std::uint64_t* const words = tracker_.words();
-  const std::size_t k = tokens_.size();
-  Vertex visited = tracker_.num_visited();
-
-  for (std::uint64_t t = 0; t < rounds; ++t) {
-    for (std::size_t i = 0; i < k; ++i) {
-      const Vertex v = advance_token<kLazy>(toks[i], row, adj, rng, laziness);
-      toks[i] = v;
-      std::uint64_t& word = words[v >> 6];
-      const std::uint64_t bit = std::uint64_t{1} << (v & 63);
-      if ((word & bit) == 0) {
-        word |= bit;
-        ++visited;
-      }
-      if (visit_counts != nullptr) ++visit_counts[v];
-    }
-  }
-  tracker_.set_num_visited(visited);
-}
+    : WalkEngineT<CsrSubstrate>(CsrSubstrate(g)) {}
 
 }  // namespace manywalks

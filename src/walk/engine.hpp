@@ -1,17 +1,23 @@
 // Batched k-walk engine: the hot path behind every cover-time sampler.
 //
 // The per-step helpers in walker.hpp re-derive degree and neighbor spans
-// through the Graph accessors on every call. WalkEngine instead binds the
-// CSR arrays (row offsets + neighbor targets) once, validates everything
-// up front, and then advances ALL k tokens per round with raw-pointer
-// indexing, a loop-hoisted laziness branch, and a word-level visited
-// scratch that stays cache-resident on large graphs.
+// through the Graph accessors on every call. WalkEngineT instead binds a
+// Substrate (graph/substrate.hpp) once — the CSR arrays for an explicit
+// Graph, or a closed-form adjacency for the implicit families — and then
+// advances ALL k tokens per round with a register-resident substrate copy,
+// a loop-hoisted laziness branch, and a word-level visited scratch that
+// stays cache-resident on large graphs. On an implicit substrate the
+// n/8-byte scratch is the ONLY O(n) allocation, which is what lets the
+// giant-graph experiments run at n = 10^7–10^8 with no CSR ever built.
 //
-// Determinism contract (tested in tests/test_engine.cpp): for the same Rng
-// stream the engine consumes random draws token by token in exactly the
-// order of the walker.hpp path — one uniform_below(degree) per step, with a
-// preceding uniform01 draw iff laziness > 0 — so sampled cover times are
-// byte-identical to the pre-engine implementation.
+// Determinism contract (tested in tests/test_engine.cpp and
+// tests/test_substrate.cpp): for the same Rng stream the engine consumes
+// random draws token by token in exactly the order of the walker.hpp path
+// — one uniform_below(degree) per step, with a preceding uniform01 draw
+// iff laziness > 0 — so the CSR instantiation samples cover times
+// byte-identical to the pre-engine implementation, and an implicit
+// substrate whose neighbor order matches CSR (cycle, torus, complete) is
+// bit-identical to the CSR engine too.
 #pragma once
 
 #include <cstdint>
@@ -19,45 +25,100 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/substrate.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
-#include "walk/cover.hpp"
+#include "walk/cover_types.hpp"
 #include "walk/visit_tracker.hpp"
 
 namespace manywalks {
 
-class WalkEngine {
+namespace detail {
+
+/// One token step over a substrate. Draw order matches walker.hpp: lazy
+/// walks spend one uniform01 before the (possibly skipped) neighbor draw;
+/// simple walks spend exactly one uniform_below(degree).
+template <bool kLazy, class S>
+inline Vertex advance_token(Vertex v, const S& substrate, Rng& rng,
+                            double laziness) {
+  if constexpr (kLazy) {
+    if (rng.uniform01() < laziness) return v;
+  }
+  const Vertex degree = substrate.degree(v);
+  return substrate.neighbor(v, rng.uniform_below(degree));
+}
+
+}  // namespace detail
+
+template <class S>
+class WalkEngineT {
+  static_assert(Substrate<S>,
+                "WalkEngineT requires a Substrate (wrap a Graph in "
+                "CsrSubstrate, or use WalkEngine)");
+
  public:
-  /// Binds to `g` and validates walkability once. The graph's CSR arrays
-  /// must outlive the engine; the engine holds pointers, not a copy.
-  explicit WalkEngine(const Graph& g);
+  /// Binds the substrate by value. For CsrSubstrate the underlying Graph's
+  /// CSR arrays must outlive the engine; implicit substrates carry no
+  /// external state. Walkability is the substrate's own invariant (every
+  /// substrate guarantees min degree >= 1 by construction; the Graph-facing
+  /// WalkEngine validates it once at binding).
+  explicit WalkEngineT(const S& substrate)
+      : substrate_(substrate),
+        num_vertices_(substrate.num_vertices()),
+        tracker_(substrate.num_vertices()) {
+    MW_REQUIRE(num_vertices_ >= 1, "walk on empty substrate");
+  }
 
   /// Re-seeds the tokens (each validated against the vertex range) and
   /// resets the visited scratch; the starts count as visited at t = 0.
   /// Cheap enough to call once per Monte-Carlo trial.
-  void reset(std::span<const Vertex> starts);
+  void reset(std::span<const Vertex> starts) {
+    MW_REQUIRE(!starts.empty(), "k-walk needs at least one token");
+    tracker_.reset();
+    tokens_.assign(starts.begin(), starts.end());
+    for (Vertex s : tokens_) {
+      MW_REQUIRE(s < num_vertices_, "start vertex out of range");
+      tracker_.visit(s);
+    }
+  }
 
   /// Advances all tokens round by round until `target` distinct vertices
   /// have been visited or `options.step_cap` rounds have run. A round
   /// always finishes even if coverage is reached mid-round, matching the
   /// round-granular timing convention in cover.hpp.
   CoverSample run_until_visited(Vertex target, Rng& rng,
-                                const CoverOptions& options = {});
+                                const CoverOptions& options = {}) {
+    MW_REQUIRE(!tokens_.empty(), "no tokens; call reset() before running");
+    MW_REQUIRE(target <= num_vertices_,
+               "target " << target << " exceeds num_vertices "
+                         << num_vertices_);
+    MW_REQUIRE(options.laziness >= 0.0 && options.laziness < 1.0,
+               "laziness must be in [0,1)");
+    CoverSample sample;
+    if (tracker_.num_visited() >= target) {
+      sample.covered = true;
+      return sample;
+    }
+    return options.laziness > 0.0
+               ? run_until_visited_impl<true>(target, rng, options)
+               : run_until_visited_impl<false>(target, rng, options);
+  }
 
   /// Advances all tokens for exactly `rounds` rounds, marking visits. When
   /// `visit_counts` is non-null it must point at num_vertices() counters;
   /// each token increments its landing vertex's counter every step.
   void run_for_steps(std::uint64_t rounds, Rng& rng, double laziness = 0.0,
-                     std::uint64_t* visit_counts = nullptr);
-
-  /// True iff this engine was constructed against exactly g's live CSR
-  /// arrays (compared by data pointer and size, not graph address), so a
-  /// cached engine can never silently run on a different graph.
-  bool bound_to(const Graph& g) const {
-    return row_offsets_ == g.offsets().data() &&
-           neighbors_ == g.targets().data() &&
-           num_vertices_ == g.num_vertices();
+                     std::uint64_t* visit_counts = nullptr) {
+    MW_REQUIRE(!tokens_.empty(), "no tokens; call reset() before running");
+    MW_REQUIRE(laziness >= 0.0 && laziness < 1.0, "laziness must be in [0,1)");
+    if (laziness > 0.0) {
+      run_for_steps_impl<true>(rounds, rng, laziness, visit_counts);
+    } else {
+      run_for_steps_impl<false>(rounds, rng, laziness, visit_counts);
+    }
   }
 
+  const S& substrate() const noexcept { return substrate_; }
   std::size_t num_tokens() const { return tokens_.size(); }
   std::span<const Vertex> tokens() const { return tokens_; }
   Vertex num_vertices() const { return num_vertices_; }
@@ -67,16 +128,97 @@ class WalkEngine {
  private:
   template <bool kLazy>
   CoverSample run_until_visited_impl(Vertex target, Rng& rng,
-                                     const CoverOptions& options);
+                                     const CoverOptions& options) {
+    const S substrate = substrate_;  // register-resident copy for the loop
+    Vertex* const toks = tokens_.data();
+    std::uint64_t* const words = tracker_.words();
+    const std::size_t k = tokens_.size();
+    const double laziness = options.laziness;
+    Vertex visited = tracker_.num_visited();
+
+    CoverSample sample;
+    std::uint64_t t = 0;
+    while (t < options.step_cap) {
+      ++t;
+      for (std::size_t i = 0; i < k; ++i) {
+        const Vertex v =
+            detail::advance_token<kLazy>(toks[i], substrate, rng, laziness);
+        toks[i] = v;
+        std::uint64_t& word = words[v >> 6];
+        const std::uint64_t bit = std::uint64_t{1} << (v & 63);
+        if ((word & bit) == 0) {
+          word |= bit;
+          ++visited;
+        }
+      }
+      if (visited >= target) {
+        tracker_.set_num_visited(visited);
+        sample.steps = t;
+        sample.covered = true;
+        return sample;
+      }
+    }
+    tracker_.set_num_visited(visited);
+    sample.steps = options.step_cap;
+    sample.covered = false;
+    return sample;
+  }
+
   template <bool kLazy>
   void run_for_steps_impl(std::uint64_t rounds, Rng& rng, double laziness,
-                          std::uint64_t* visit_counts);
+                          std::uint64_t* visit_counts) {
+    const S substrate = substrate_;
+    Vertex* const toks = tokens_.data();
+    std::uint64_t* const words = tracker_.words();
+    const std::size_t k = tokens_.size();
+    Vertex visited = tracker_.num_visited();
 
-  const std::uint64_t* row_offsets_;  // |V|+1 entries, from Graph::offsets()
-  const Vertex* neighbors_;           // num_arcs entries, from Graph::targets()
+    for (std::uint64_t t = 0; t < rounds; ++t) {
+      for (std::size_t i = 0; i < k; ++i) {
+        const Vertex v =
+            detail::advance_token<kLazy>(toks[i], substrate, rng, laziness);
+        toks[i] = v;
+        std::uint64_t& word = words[v >> 6];
+        const std::uint64_t bit = std::uint64_t{1} << (v & 63);
+        if ((word & bit) == 0) {
+          word |= bit;
+          ++visited;
+        }
+        if (visit_counts != nullptr) ++visit_counts[v];
+      }
+    }
+    tracker_.set_num_visited(visited);
+  }
+
+  S substrate_;
   Vertex num_vertices_;
   std::vector<Vertex> tokens_;
   WordVisitTracker tracker_;
+};
+
+// The instantiations every caller uses live in engine.cpp; a custom
+// substrate type instantiates from this header as usual.
+extern template class WalkEngineT<CsrSubstrate>;
+extern template class WalkEngineT<CycleSubstrate>;
+extern template class WalkEngineT<TorusSubstrate>;
+extern template class WalkEngineT<HypercubeSubstrate>;
+extern template class WalkEngineT<CompleteSubstrate>;
+
+/// The historical Graph-facing engine: the CsrSubstrate instantiation plus
+/// one-time walkability validation and the live-array binding check.
+class WalkEngine : public WalkEngineT<CsrSubstrate> {
+ public:
+  /// Binds to `g` and validates walkability once. The graph's CSR arrays
+  /// must outlive the engine; the engine holds pointers, not a copy.
+  explicit WalkEngine(const Graph& g);
+
+  /// True iff this engine was constructed against exactly g's live CSR
+  /// arrays (compared by data pointer and size, not graph address), so a
+  /// cached engine can never silently run on a different graph. A pure
+  /// query: never throws, even for an unwalkable g.
+  bool bound_to(const Graph& g) const noexcept {
+    return substrate().reads_arrays_of(g);
+  }
 };
 
 }  // namespace manywalks

@@ -95,7 +95,8 @@ class WordVisitTracker {
   // The engine's inner loop keeps the word pointer and visit counter in
   // registers (member updates through `this` would force a reload after
   // every store) and syncs num_visited_ back on exit.
-  friend class WalkEngine;
+  template <class S>
+  friend class WalkEngineT;
   std::uint64_t* words() { return words_.data(); }
   void set_num_visited(Vertex n) { num_visited_ = n; }
 

@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "cli/experiments_common.hpp"
 #include "cli/presets.hpp"
 #include "cli/registry.hpp"
 #include "cli/sinks.hpp"
@@ -23,7 +26,7 @@ ExperimentResult empty_runner(const ExperimentParams&, ThreadPool&) {
 
 TEST(Registry, DefaultRegistryHasAllExperiments) {
   const ExperimentRegistry& registry = default_registry();
-  EXPECT_GE(registry.size(), 13u);
+  EXPECT_GE(registry.size(), 15u);
   for (const Experiment* experiment : registry.list()) {
     SCOPED_TRACE(experiment->info.name);
     EXPECT_FALSE(experiment->info.summary.empty());
@@ -38,7 +41,7 @@ TEST(Registry, DefaultRegistryHasAllExperiments) {
         "fig_grid_spectrum", "fig_grid_lower_bound", "fig_barbell_speedup",
         "fig_conjectures", "fig_matthews_bounds", "fig_mixing_bound",
         "fig_lemma16", "fig_aldous_concentration", "fig_stationary_start",
-        "fig_start_placement"}) {
+        "fig_start_placement", "giant-cycle-speedup", "giant-torus-speedup"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
 }
@@ -63,6 +66,65 @@ TEST(Registry, RejectsEmptyNameAndNullRunner) {
                std::invalid_argument);
   EXPECT_THROW(registry.add({"ok", "s", "c", 1, {}}, ExperimentRunner{}),
                std::invalid_argument);
+}
+
+TEST(Registry, RunStampsCensoredCellTally) {
+  // Runners don't have to remember to surface censoring: the registry
+  // counts flagged cells after the runner returns.
+  ExperimentRegistry registry;
+  registry.add({"exp", "summary", "claim", 1, {}},
+               [](const ExperimentParams&, ThreadPool&) {
+                 ExperimentResult result;
+                 McResult capped;
+                 capped.ci.mean = 100.0;
+                 capped.ci.half_width = 1.0;
+                 capped.censored = 3;
+                 ResultTable table("tbl", "Title");
+                 table.add_column("est").add_column("clean");
+                 table.begin_row();
+                 table.mean_pm(capped);
+                 table.mean_pm(5.0, 0.5);
+                 result.tables.push_back(std::move(table));
+                 return result;
+               });
+  ThreadPool pool(1);
+  const ExperimentResult result =
+      registry.find("exp")->run(ExperimentParams{}, pool);
+  EXPECT_EQ(result.censored_cells, 1u);
+  EXPECT_NE(render_json(result).find("\"censored\": 3"), std::string::npos);
+}
+
+TEST(Registry, GeometricKsIsOverflowSafe) {
+  const std::vector<unsigned> doubling = geometric_ks(64);
+  EXPECT_EQ(doubling, (std::vector<unsigned>{1, 2, 4, 8, 16, 32, 64}));
+  EXPECT_EQ(geometric_ks(1), std::vector<unsigned>{1});
+  EXPECT_EQ(geometric_ks(0), std::vector<unsigned>{1});
+  EXPECT_EQ(geometric_ks(256, 4), (std::vector<unsigned>{1, 4, 16, 64, 256}));
+  // A 64-bit --kmax must terminate (no wrap-around loop) and stay within
+  // the unsigned range.
+  const auto huge =
+      geometric_ks(std::numeric_limits<std::uint64_t>::max());
+  ASSERT_FALSE(huge.empty());
+  EXPECT_LE(huge.size(), 32u);
+  EXPECT_EQ(huge.back(), 1u << 31);
+}
+
+TEST(Registry, GiantExperimentsHandleDegenerateTargets) {
+  // --target 1 is degenerate (the start vertex covers it at t = 0); the
+  // runner clamps to 2 instead of aborting inside combine_speedup.
+  const Experiment* experiment =
+      default_registry().find("giant-cycle-speedup");
+  ASSERT_NE(experiment, nullptr);
+  ExperimentParams params;
+  params.seed = experiment->info.default_seed;
+  params.n = 48;
+  params.trials = 8;
+  params.kmax = 2;
+  params.target = 1;
+  ThreadPool pool(2);
+  const ExperimentResult result = experiment->run(params, pool);
+  ASSERT_FALSE(result.tables.empty());
+  EXPECT_FALSE(result.tables.front().rows().empty());
 }
 
 TEST(Registry, PresetResolutionPrefersExplicitFlags) {
@@ -98,7 +160,7 @@ ExperimentResult golden_result() {
   table.text("a,b \"q\"");
   table.count(1234567);
   table.real(1.5, 3);
-  table.mean_pm(2.25, 0.5, 3);
+  table.mean_pm(2.25, 0.5, 3, /*censored=*/2);
   table.rule();
   table.begin_row();
   table.text("line\nbreak");
@@ -109,6 +171,7 @@ ExperimentResult golden_result() {
   result.notes = {"note 1", "note 2"};
   result.has_verdict = true;
   result.passed = false;
+  result.censored_cells = count_censored_cells(result);
   result.elapsed_seconds = 0.5;
   return result;
 }
@@ -130,7 +193,7 @@ TEST(Sinks, JsonGolden) {
       "title": "Title",
       "columns": ["name", "count", "value", "est"],
       "rows": [
-        ["a,b \"q\"", 1234567, 1.5, {"mean": 2.25, "half_width": 0.5}],
+        ["a,b \"q\"", 1234567, 1.5, {"mean": 2.25, "half_width": 0.5, "censored": 2}],
         ["line\nbreak", 0, null, 0.1]
       ]
     }
@@ -139,6 +202,7 @@ TEST(Sinks, JsonGolden) {
     "note 1",
     "note 2"
   ],
+  "censored_cells": 1,
   "passed": false,
   "elapsed_seconds": 0.5
 }
@@ -148,10 +212,30 @@ TEST(Sinks, JsonGolden) {
 
 TEST(Sinks, CsvGoldenWithMeanPmExpansionAndQuoting) {
   const std::string expected =
-      "name,count,value,est,est (±)\n"
-      "\"a,b \"\"q\"\"\",1234567,1.5,2.25,0.5\n"
-      "\"line\nbreak\",0,,0.1,\n";
+      "name,count,value,est,est (±),est (censored)\n"
+      "\"a,b \"\"q\"\"\",1234567,1.5,2.25,0.5,2\n"
+      "\"line\nbreak\",0,,0.1,,\n";
   EXPECT_EQ(render_csv(golden_result().tables.front()), expected);
+}
+
+TEST(Sinks, UncensoredEstimatesRenderWithoutCensoredArtifacts) {
+  // The pre-fix shapes are preserved exactly when nothing was censored:
+  // no "censored" JSON key, no "(censored)" CSV column, no "†" marker.
+  ExperimentResult result;
+  result.name = "clean";
+  result.claim = "claim";
+  ResultTable table("tbl", "Title");
+  table.add_column("est");
+  table.begin_row();
+  table.mean_pm(10.0, 2.0, 3);
+  result.tables.push_back(std::move(table));
+  const std::string json = render_json(result);
+  EXPECT_EQ(json.find("\"censored\":"), std::string::npos);
+  EXPECT_NE(json.find("\"censored_cells\": 0"), std::string::npos);
+  EXPECT_EQ(render_csv(result.tables.front()),
+            "est,est (±)\n10,2\n");
+  EXPECT_EQ(cell_text(ResultCell{MeanPmCell{10.0, 2.0, 3}}),
+            format_mean_pm(10.0, 2.0, 3));
 }
 
 TEST(Sinks, TextRenderMatchesLegacyLayout) {
@@ -163,6 +247,10 @@ TEST(Sinks, TextRenderMatchesLegacyLayout) {
   EXPECT_NE(text.find("1,234,567"), std::string::npos);  // thousands separator
   EXPECT_NE(text.find("note 2\n"), std::string::npos);
   EXPECT_NE(text.find("Elapsed: 0.5 s\n"), std::string::npos);
+  // Censored estimates carry the dagger and trigger the lower-bound
+  // warning line.
+  EXPECT_NE(text.find("†"), std::string::npos);
+  EXPECT_NE(text.find("WARNING: 1 estimate(s)"), std::string::npos);
 }
 
 TEST(Sinks, ParseOutputFormat) {

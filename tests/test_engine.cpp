@@ -206,12 +206,42 @@ TEST(WalkEngine, ValidatesArguments) {
   EXPECT_THROW(engine.run_for_steps(1, rng, -0.1), std::invalid_argument);
 }
 
+TEST(WalkEngine, CsrSubstrateInstantiationIsTheGraphEngine) {
+  // WalkEngine IS WalkEngineT<CsrSubstrate>: a bare template instantiation
+  // over the wrapped CSR arrays must consume the same draws and sample the
+  // same cover times as both the Graph-facing engine and the reference
+  // per-step walker (the RNG-stream contract the substrate refactor must
+  // not break).
+  for (const auto& [name, g] : test_instances()) {
+    WalkEngineT<CsrSubstrate> substrate_engine{CsrSubstrate(g)};
+    const std::vector<Vertex> starts(3, 0);
+    for (std::uint64_t trial = 0; trial < 12; ++trial) {
+      Rng ref_rng = make_trial_rng(0xabcULL, trial);
+      Rng eng_rng = make_trial_rng(0xabcULL, trial);
+      const CoverSample expected =
+          reference_cover(g, starts, g.num_vertices(), ref_rng);
+      substrate_engine.reset(starts);
+      const CoverSample actual =
+          substrate_engine.run_until_visited(g.num_vertices(), eng_rng);
+      ASSERT_EQ(expected.steps, actual.steps) << name << " trial=" << trial;
+      ASSERT_EQ(ref_rng.state(), eng_rng.state()) << name << " trial=" << trial;
+    }
+  }
+}
+
 TEST(WalkEngine, BoundToTracksLiveCsrArrays) {
   const Graph a = make_cycle(16);
   const Graph b = make_cycle(16);  // same shape, different arrays
   WalkEngine engine(a);
   EXPECT_TRUE(engine.bound_to(a));
   EXPECT_FALSE(engine.bound_to(b));
+
+  // bound_to is a pure query: an unwalkable graph yields false, it does
+  // not throw (only *binding* to such a graph does).
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);  // vertex 2 isolated
+  const Graph unwalkable = builder.build();
+  EXPECT_FALSE(engine.bound_to(unwalkable));
 }
 
 TEST(CoverSamplers, InterleavedGraphsStayDeterministic) {

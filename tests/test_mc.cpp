@@ -108,6 +108,72 @@ TEST(MonteCarloRunner, CountsCensoredTrials) {
       },
       options);
   EXPECT_EQ(result.censored, 5u);
+  EXPECT_FALSE(result.target_met);
+}
+
+TEST(MonteCarloRunner, CensoredTrialsNeverMeetTheTarget) {
+  // Regression for the censored-trial bias: every trial hits the step cap
+  // at the same value, so the CI has zero width and the OLD harness
+  // declared target_met on purely censored (lower-bound) data. The mean
+  // must still be reported (it is a valid lower bound) but never
+  // certified.
+  McOptions options;
+  options.min_trials = 8;
+  options.max_trials = 64;
+  const auto result = run_monte_carlo(
+      [](std::uint64_t, Rng&) {
+        return TrialOutcome{100000.0, /*censored=*/true};  // cap value
+      },
+      options);
+  EXPECT_FALSE(result.target_met);
+  EXPECT_EQ(result.censored, result.stats.count());
+  EXPECT_DOUBLE_EQ(result.ci.mean, 100000.0);
+  // And it cannot stop early on the (meaningless) tight CI: the whole
+  // budget runs.
+  EXPECT_EQ(result.stats.count(), 64u);
+}
+
+TEST(MonteCarloRunner, MixedCensoredTrialsAlsoBlockTarget) {
+  McOptions options;
+  options.min_trials = 8;
+  options.max_trials = 32;
+  const auto result = run_monte_carlo(
+      [](std::uint64_t index, Rng&) {
+        return TrialOutcome{50.0, index == 3};  // one censored trial
+      },
+      options);
+  EXPECT_EQ(result.censored, 1u);
+  EXPECT_FALSE(result.target_met);
+  EXPECT_EQ(result.stats.count(), 32u);
+}
+
+TEST(MonteCarloRunner, GeometricBatchesKeepIndexOrderedReduction) {
+  // The growing batch schedule must not change WHAT is computed: the
+  // stats absorb trial 0, 1, 2, ... in index order no matter how batches
+  // are cut, so the result equals a serial replay and is independent of
+  // the thread count.
+  const auto trial = [](std::uint64_t index, Rng&) {
+    return TrialOutcome{static_cast<double>((index * 7919) % 101), false};
+  };
+  McOptions options;
+  options.min_trials = 10;
+  options.max_trials = 200;
+  options.target_rel_half_width = 1e-12;  // unreachable: all batches run
+
+  options.threads = 1;
+  const auto serial = run_monte_carlo(trial, options);
+  options.threads = 8;
+  const auto parallel = run_monte_carlo(trial, options);
+  EXPECT_EQ(serial.stats.count(), 200u);
+  EXPECT_EQ(parallel.stats.count(), 200u);
+  EXPECT_DOUBLE_EQ(serial.ci.mean, parallel.ci.mean);
+  EXPECT_DOUBLE_EQ(serial.stats.variance(), parallel.stats.variance());
+
+  RunningStats replay;
+  Rng unused(0);
+  for (std::uint64_t i = 0; i < 200; ++i) replay.add(trial(i, unused).value);
+  EXPECT_DOUBLE_EQ(serial.ci.mean, replay.mean());
+  EXPECT_DOUBLE_EQ(serial.stats.variance(), replay.variance());
 }
 
 TEST(MonteCarloRunner, MeanOfUniformIsHalf) {

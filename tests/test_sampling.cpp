@@ -115,6 +115,45 @@ TEST(SpreadStarts, MoreStartsThanVerticesWraps) {
   for (Vertex v : starts) EXPECT_LT(v, 3u);
 }
 
+TEST(SpreadStarts, WrapAroundReusesTheSeedDeterministically) {
+  // Once every vertex is a center all distances are 0, so each further
+  // start falls back to starts[i % size] — which is always the seed. The
+  // exact sequence is part of the deterministic contract.
+  const Graph g = make_cycle(3);
+  const auto starts = spread_starts(g, 7, 0);
+  const std::vector<Vertex> expected = {0, 1, 2, 0, 0, 0, 0};
+  EXPECT_EQ(starts, expected);
+
+  // Same wrap pattern from a different seed vertex.
+  const auto from_two = spread_starts(g, 5, 2);
+  EXPECT_EQ(from_two[0], 2u);
+  const std::set<Vertex> first_three(from_two.begin(), from_two.begin() + 3);
+  EXPECT_EQ(first_three.size(), 3u);
+  EXPECT_EQ(from_two[3], 2u);
+  EXPECT_EQ(from_two[4], 2u);
+}
+
+TEST(SpreadStarts, DisconnectedGraphStaysInSeedComponent) {
+  // Two disjoint triangles {0,1,2} and {3,4,5}: bfs_distances reports
+  // kUnreachable for the far component, and the greedy selection must skip
+  // those vertices instead of choosing an unreachable (infinite-distance)
+  // center.
+  GraphBuilder b(6);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+  b.add_edge(3, 4).add_edge(4, 5).add_edge(5, 3);
+  const Graph g = b.build();
+
+  const auto starts = spread_starts(g, 4, 0);
+  ASSERT_EQ(starts.size(), 4u);
+  for (Vertex v : starts) EXPECT_LT(v, 3u) << "left component only";
+
+  const auto right = spread_starts(g, 4, 4);
+  for (Vertex v : right) {
+    EXPECT_GE(v, 3u) << "right component only";
+    EXPECT_LT(v, 6u);
+  }
+}
+
 TEST(HittingToSet, StartInsideSetIsZero) {
   const Graph g = make_cycle(6);
   std::vector<bool> target(6, false);

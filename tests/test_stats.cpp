@@ -100,6 +100,34 @@ TEST(StudentT, TableValues) {
   EXPECT_NEAR(student_t_quantile(0.95, 10), 1.8125, 2e-3);
 }
 
+TEST(StudentT, SmallDofMatchesReferenceQuantiles) {
+  // Regression for the A&S 26.7.5 expansion being visibly off at dof
+  // 3–10 (2.2% at dof 3 — and preset_mc makes dof 7 CIs routine).
+  // References are R's qt(p, dof) to full double precision.
+  EXPECT_NEAR(student_t_quantile(0.975, 3), 3.182446305284263, 1e-6);
+  EXPECT_NEAR(student_t_quantile(0.975, 4), 2.776445105198654, 1e-6);
+  EXPECT_NEAR(student_t_quantile(0.975, 5), 2.570581835636197, 1e-6);
+  EXPECT_NEAR(student_t_quantile(0.975, 7), 2.364624251592785, 1e-6);
+  EXPECT_NEAR(student_t_quantile(0.975, 10), 2.228138851986273, 1e-6);
+  EXPECT_NEAR(student_t_quantile(0.975, 30), 2.042272456301238, 1e-6);
+  EXPECT_NEAR(student_t_quantile(0.995, 3), 5.840909309732899, 1e-6);
+  EXPECT_NEAR(student_t_quantile(0.995, 7), 3.499483297350494, 1e-6);
+  EXPECT_NEAR(student_t_quantile(0.95, 5), 2.015048372669157, 1e-6);
+  EXPECT_NEAR(student_t_quantile(0.95, 10), 1.812461122811676, 1e-6);
+}
+
+TEST(StudentT, CdfMatchesReferenceAndRoundTrips) {
+  EXPECT_DOUBLE_EQ(student_t_cdf(0.0, 7), 0.5);
+  EXPECT_NEAR(student_t_cdf(2.364624251592785, 7), 0.975, 1e-10);
+  EXPECT_NEAR(student_t_cdf(-2.364624251592785, 7), 0.025, 1e-10);
+  for (std::uint64_t dof : {3ull, 7ull, 15ull, 50ull}) {
+    for (double p : {0.01, 0.2, 0.5, 0.9, 0.975, 0.999}) {
+      EXPECT_NEAR(student_t_cdf(student_t_quantile(p, dof), dof), p, 1e-10)
+          << "dof=" << dof << " p=" << p;
+    }
+  }
+}
+
 TEST(StudentT, ConvergesToNormal) {
   EXPECT_NEAR(student_t_quantile(0.975, 100000), normal_quantile(0.975), 1e-3);
 }
