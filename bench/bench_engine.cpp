@@ -4,18 +4,29 @@
 // Monte-Carlo thread scaling. These numbers justify the experiment
 // harness's feasible scales (steps/second on a laptop).
 //
-// The binary has its own main: before running benchmarks it verifies that
-// the batched engine samples the SAME cover-time distribution, trial by
-// trial, as the seed per-call path under make_trial_rng streams.
+// The binary has its own main: before running benchmarks it
+//   1. verifies that the batched engine samples the SAME cover-time
+//      distribution, trial by trial, as the seed per-call path under
+//      make_trial_rng streams (legacy mode's bit contract);
+//   2. measures lane-vs-legacy steps/s per family x k and writes the
+//      machine-readable BENCH_4.json perf artifact (--bench4_out=PATH,
+//      schema "manywalks-bench4-v1", documented in docs/ARCHITECTURE.md);
+//      with --lane_guard it exits nonzero if lane mode regresses below
+//      legacy on any family (the CI perf-smoke anti-regression gate).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "core/families.hpp"
 #include "graph/generators.hpp"
+#include "graph/substrate.hpp"
 #include "mc/estimators.hpp"
 #include "walk/cover.hpp"
 #include "walk/engine.hpp"
@@ -328,11 +339,211 @@ void report_paired_throughput() {
   std::printf("\n");
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_4: lane-vs-legacy steps/s per family x k, alternating interleaved
+// reps so machine-load drift hits both modes equally. Emitted as the
+// machine-readable BENCH_4.json artifact ("manywalks-bench4-v1"); the
+// optional guard is the CI anti-regression gate for the lane kernel.
+// ---------------------------------------------------------------------------
+
+struct Bench4Row {
+  std::string family;
+  std::string substrate;  // "csr" or "implicit"
+  std::uint64_t n = 0;
+  unsigned k = 0;
+  double legacy_steps_per_s = 0.0;
+  double lane_steps_per_s = 0.0;
+  double ratio = 0.0;
+};
+
+/// One timed run_for_steps burst; returns seconds.
+template <class Engine>
+double timed_rounds(Engine& engine, std::span<const Vertex> starts,
+                    std::uint64_t rounds, RngMode mode, std::uint64_t seed) {
+  using clock = std::chrono::steady_clock;
+  engine.reset(starts);
+  Rng rng(seed);
+  const auto t0 = clock::now();
+  engine.run_for_steps(rounds, rng, 0.0, nullptr, mode);
+  const auto t1 = clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Measures both modes with kReps alternating bursts of `rounds` rounds.
+template <class Engine>
+Bench4Row measure_lane_vs_legacy(const char* family, const char* substrate,
+                                 std::uint64_t n, Engine& engine, unsigned k,
+                                 std::uint64_t steps_budget) {
+  const std::vector<Vertex> starts(k, 0);
+  const std::uint64_t rounds = std::max<std::uint64_t>(steps_budget / k, 64);
+  constexpr int kReps = 4;
+  // Warm-up bursts page in the CSR/tracker scratch and size the token and
+  // lane vectors. (Each timed rep still pays its own reset() + lane
+  // derivation — that IS part of the per-trial workload; at <= 256 lanes
+  // vs millions of steps it is noise either way.)
+  timed_rounds(engine, starts, std::max<std::uint64_t>(rounds / 8, 1),
+               RngMode::kSharedLegacy, 1);
+  timed_rounds(engine, starts, std::max<std::uint64_t>(rounds / 8, 1),
+               RngMode::kLane, 1);
+  double legacy_s = 0.0;
+  double lane_s = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    legacy_s += timed_rounds(engine, starts, rounds, RngMode::kSharedLegacy,
+                             100 + static_cast<std::uint64_t>(rep));
+    lane_s += timed_rounds(engine, starts, rounds, RngMode::kLane,
+                           100 + static_cast<std::uint64_t>(rep));
+  }
+  const double steps =
+      static_cast<double>(rounds) * k * static_cast<double>(kReps);
+  Bench4Row row;
+  row.family = family;
+  row.substrate = substrate;
+  row.n = n;
+  row.k = k;
+  row.legacy_steps_per_s = steps / legacy_s;
+  row.lane_steps_per_s = steps / lane_s;
+  row.ratio = row.lane_steps_per_s / row.legacy_steps_per_s;
+  return row;
+}
+
+std::vector<Bench4Row> run_bench4() {
+  std::vector<Bench4Row> rows;
+  const unsigned ks[] = {1, 8, 64, 256};
+  std::printf("lane vs legacy token-steps/s (run_for_steps, simple walk):\n");
+  std::printf("%-19s %4s %15s %15s %7s\n", "family", "k", "legacy", "lane",
+              "ratio");
+  auto push = [&rows](Bench4Row row) {
+    std::printf("%-19s %4u %14.1fM %14.1fM %6.2fx\n", row.family.c_str(),
+                row.k, row.legacy_steps_per_s / 1e6,
+                row.lane_steps_per_s / 1e6, row.ratio);
+    rows.push_back(std::move(row));
+  };
+  {
+    // The acceptance instance: a 10^6-vertex 8-regular expander whose CSR
+    // arrays dwarf L2 — the workload the prefetch pipeline exists for.
+    const Graph g = make_margulis_expander(1024);  // n = 2^20
+    WalkEngine engine(g);
+    for (unsigned k : ks) {
+      push(measure_lane_vs_legacy("csr-expander", "csr", g.num_vertices(),
+                                  engine, k, 3'000'000));
+    }
+  }
+  {
+    const Graph g = make_cycle(1u << 20);
+    WalkEngine engine(g);
+    for (unsigned k : ks) {
+      push(measure_lane_vs_legacy("csr-cycle", "csr", g.num_vertices(),
+                                  engine, k, 6'000'000));
+    }
+  }
+  {
+    WalkEngineT<CycleSubstrate> engine{CycleSubstrate(1u << 20)};
+    for (unsigned k : ks) {
+      push(measure_lane_vs_legacy("implicit-cycle", "implicit", 1u << 20,
+                                  engine, k, 12'000'000));
+    }
+  }
+  {
+    WalkEngineT<TorusSubstrate> engine{TorusSubstrate(1024)};
+    for (unsigned k : ks) {
+      push(measure_lane_vs_legacy("implicit-torus", "implicit", 1u << 20,
+                                  engine, k, 12'000'000));
+    }
+  }
+  {
+    WalkEngineT<HypercubeSubstrate> engine{HypercubeSubstrate(20)};
+    for (unsigned k : ks) {
+      push(measure_lane_vs_legacy("implicit-hypercube", "implicit", 1u << 20,
+                                  engine, k, 12'000'000));
+    }
+  }
+  {
+    WalkEngineT<CompleteSubstrate> engine{CompleteSubstrate(4096)};
+    for (unsigned k : ks) {
+      push(measure_lane_vs_legacy("implicit-complete", "implicit", 4096,
+                                  engine, k, 12'000'000));
+    }
+  }
+  std::printf("\n");
+  return rows;
+}
+
+void write_bench4_json(const std::vector<Bench4Row>& rows,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"schema\": \"manywalks-bench4-v1\",\n"
+      << "  \"metric\": \"token-steps per second, run_for_steps, simple "
+         "walk\",\n"
+      << "  \"modes\": [\"shared_legacy\", \"lane\"],\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Bench4Row& r = rows[i];
+    out << "    {\"family\": \"" << r.family << "\", \"substrate\": \""
+        << r.substrate << "\", \"n\": " << r.n << ", \"k\": " << r.k
+        << ", \"legacy_steps_per_s\": " << static_cast<std::uint64_t>(r.legacy_steps_per_s)
+        << ", \"lane_steps_per_s\": " << static_cast<std::uint64_t>(r.lane_steps_per_s)
+        << ", \"ratio\": " << r.ratio << "}" << (i + 1 < rows.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s (%zu rows)\n\n", path.c_str(), rows.size());
+}
+
+/// CI gate on the BEST k >= 8 ratio per family (deliberately best-of-k,
+/// not every-k: single rows on a noisy shared runner can dip on load
+/// spikes, but a kernel regression drags every k down together): 1.0 for
+/// each family, 1.5 for the headline csr-expander instance.
+bool lane_guard_passes(const std::vector<Bench4Row>& rows) {
+  bool ok = true;
+  std::vector<std::string> families;
+  for (const Bench4Row& row : rows) {
+    if (std::find(families.begin(), families.end(), row.family) ==
+        families.end()) {
+      families.push_back(row.family);
+    }
+  }
+  for (const std::string& family : families) {
+    double best = 0.0;
+    for (const Bench4Row& row : rows) {
+      if (row.family == family && row.k >= 8) best = std::max(best, row.ratio);
+    }
+    const double floor = family == "csr-expander" ? 1.5 : 1.0;
+    const bool pass = best >= floor;
+    std::printf("lane_guard %-19s best k>=8 ratio %.2fx (floor %.1fx) %s\n",
+                family.c_str(), best, floor, pass ? "OK" : "FAIL");
+    ok = ok && pass;
+  }
+  std::printf("\n");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip our flags before google-benchmark sees the command line.
+  std::string bench4_out = "BENCH_4.json";
+  bool lane_guard = false;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--bench4_out=", 13) == 0) {
+      bench4_out = arg + 13;
+    } else if (std::strcmp(arg, "--lane_guard") == 0) {
+      lane_guard = true;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+
   if (!verify_identical_samples()) return EXIT_FAILURE;
   report_paired_throughput();
+  const std::vector<Bench4Row> bench4 = run_bench4();
+  write_bench4_json(bench4, bench4_out);
+  if (lane_guard && !lane_guard_passes(bench4)) return EXIT_FAILURE;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return EXIT_FAILURE;
   benchmark::RunSpecifiedBenchmarks();

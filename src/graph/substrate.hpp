@@ -29,6 +29,7 @@
 
 #include "graph/graph.hpp"
 #include "util/check.hpp"
+#include "util/prefetch.hpp"
 
 namespace manywalks {
 
@@ -44,6 +45,48 @@ concept Substrate =
       { s.neighbor(v, i) } -> std::convertible_to<Vertex>;
     };
 
+// --- optional lane-kernel traits ---------------------------------------------
+//
+// The lane-mode walk kernel (walk/engine.hpp) specializes on two optional
+// substrate advertisements. Both are pure fast-path declarations: they
+// never change the walk law, only how the kernel draws and prefetches.
+
+/// Substrates whose every vertex has the same degree advertise
+/// `static constexpr bool uniform_degree = true`; the lane kernel then
+/// hoists the degree (and the power-of-two check behind the mask draw)
+/// out of the round loop entirely.
+template <class S>
+concept UniformDegreeSubstrate =
+    Substrate<S> && static_cast<bool>(S::uniform_degree);
+
+/// Uniform-degree substrates whose degree is a power of two for EVERY
+/// parameterization additionally advertise
+/// `static constexpr bool pow2_degree = true`; the lane kernel replaces
+/// Lemire's multiply with a single mask of the raw 64-bit word at compile
+/// time. (The hypercube's degree is its dimension, a power of two only for
+/// some instances, so it advertises uniform_degree and gets the mask path
+/// through the kernel's hoisted runtime check instead.)
+template <class S>
+concept Pow2DegreeSubstrate =
+    UniformDegreeSubstrate<S> && static_cast<bool>(S::pow2_degree);
+
+/// Substrates backed by in-memory adjacency arrays expose their arc
+/// addressing so the lane kernel can split "resolve the arc" from "load
+/// the neighbor" and prefetch between the two — the pipelining that turns
+/// k independent lanes into k memory requests in flight. regular_stride()
+/// additionally reports a uniform row stride (the degree of a regular
+/// graph, 0 otherwise), which removes the offset-row load from the
+/// kernel's per-step dependency chain entirely: arc = stride*v + draw.
+template <class S>
+concept ArcAddressableSubstrate =
+    Substrate<S> && requires(const S s, Vertex v, Vertex i, std::uint64_t a) {
+      s.prefetch_degree_row(v);
+      { s.arc_index(v, i) } -> std::convertible_to<std::uint64_t>;
+      s.prefetch_arc(a);
+      { s.arc_target(a) } -> std::convertible_to<Vertex>;
+      { s.regular_stride() } -> std::convertible_to<Vertex>;
+    };
+
 /// Wraps a Graph's live CSR arrays (pointers, not a copy — the Graph must
 /// outlive the substrate, exactly like the historical WalkEngine binding).
 /// Equality compares the array identities, so a cached engine can never
@@ -53,7 +96,9 @@ class CsrSubstrate {
   explicit CsrSubstrate(const Graph& g)
       : row_(g.offsets().data()),
         adj_(g.targets().data()),
-        num_vertices_(g.num_vertices()) {
+        num_vertices_(g.num_vertices()),
+        regular_stride_(g.min_degree() == g.max_degree() ? g.min_degree()
+                                                         : 0) {
     // Uphold the substrate invariant (walkable by construction): a
     // degree-0 vertex would make neighbor() read past its empty row.
     MW_REQUIRE(num_vertices_ >= 1, "CSR substrate needs at least one vertex");
@@ -69,6 +114,21 @@ class CsrSubstrate {
     return adj_[row_[v] + i];
   }
 
+  // Arc addressing for the lane kernel's prefetch pipeline. arc_index
+  // resolves an (offset-row) load, arc_target a (targets-array) load; the
+  // kernel prefetches each one a stage ahead of its use.
+  void prefetch_degree_row(Vertex v) const noexcept { mw_prefetch(row_ + v); }
+  std::uint64_t arc_index(Vertex v, Vertex i) const noexcept {
+    return row_[v] + i;
+  }
+  void prefetch_arc(std::uint64_t arc) const noexcept {
+    mw_prefetch(adj_ + arc);
+  }
+  Vertex arc_target(std::uint64_t arc) const noexcept { return adj_[arc]; }
+  /// Degree of a regular graph (every row the same length, so
+  /// arc_index(v, i) == stride*v + i with no row load), 0 otherwise.
+  Vertex regular_stride() const noexcept { return regular_stride_; }
+
   /// True iff this substrate reads exactly g's live CSR arrays. A pure
   /// comparison (never throws), unlike constructing a CsrSubstrate from g
   /// — so WalkEngine::bound_to stays a query even for invalid graphs.
@@ -83,6 +143,7 @@ class CsrSubstrate {
   const std::uint64_t* row_;  // |V|+1 entries, from Graph::offsets()
   const Vertex* adj_;         // num_arcs entries, from Graph::targets()
   Vertex num_vertices_;
+  Vertex regular_stride_;     // degree if regular, else 0
 };
 
 /// Cycle L_n in O(1) space. Neighbor order matches make_cycle's sorted CSR
@@ -92,6 +153,9 @@ class CycleSubstrate {
   explicit CycleSubstrate(Vertex n) : n_(n) {
     MW_REQUIRE(n >= 3, "cycle substrate needs n >= 3, got " << n);
   }
+
+  static constexpr bool uniform_degree = true;
+  static constexpr bool pow2_degree = true;  // degree 2 everywhere
 
   Vertex num_vertices() const noexcept { return n_; }
   Vertex degree(Vertex) const noexcept { return 2; }
@@ -118,6 +182,9 @@ class TorusSubstrate {
     MW_REQUIRE(side >= 3, "torus substrate needs side >= 3, got " << side);
     MW_REQUIRE(n_ / side == side, "torus side " << side << " overflows Vertex");
   }
+
+  static constexpr bool uniform_degree = true;
+  static constexpr bool pow2_degree = true;  // degree 4 everywhere
 
   Vertex side() const noexcept { return side_; }
   Vertex num_vertices() const noexcept { return n_; }
@@ -161,6 +228,11 @@ class HypercubeSubstrate {
                    << dimension);
   }
 
+  // Degree = dimension, the same at every vertex but a power of two only
+  // for some dimensions; the lane kernel's hoisted runtime check promotes
+  // pow2 instances to the mask draw.
+  static constexpr bool uniform_degree = true;
+
   unsigned dimension() const noexcept { return dimension_; }
   Vertex num_vertices() const noexcept { return Vertex{1} << dimension_; }
   Vertex degree(Vertex) const noexcept {
@@ -184,6 +256,8 @@ class CompleteSubstrate {
     MW_REQUIRE(n >= 2, "complete substrate needs n >= 2, got " << n);
   }
 
+  static constexpr bool uniform_degree = true;  // n-1, rarely a power of two
+
   Vertex num_vertices() const noexcept { return n_; }
   Vertex degree(Vertex) const noexcept { return n_ - 1; }
   Vertex neighbor(Vertex v, Vertex i) const noexcept {
@@ -202,5 +276,15 @@ static_assert(Substrate<TorusSubstrate>);
 static_assert(Substrate<HypercubeSubstrate>);
 static_assert(Substrate<CompleteSubstrate>);
 static_assert(!Substrate<Graph>, "Graph must go through CsrSubstrate");
+
+static_assert(ArcAddressableSubstrate<CsrSubstrate>);
+static_assert(!ArcAddressableSubstrate<CycleSubstrate>);
+static_assert(Pow2DegreeSubstrate<CycleSubstrate>);
+static_assert(Pow2DegreeSubstrate<TorusSubstrate>);
+static_assert(UniformDegreeSubstrate<HypercubeSubstrate> &&
+              !Pow2DegreeSubstrate<HypercubeSubstrate>);
+static_assert(UniformDegreeSubstrate<CompleteSubstrate> &&
+              !Pow2DegreeSubstrate<CompleteSubstrate>);
+static_assert(!UniformDegreeSubstrate<CsrSubstrate>);
 
 }  // namespace manywalks

@@ -1,0 +1,27 @@
+// Portable software-prefetch shim for the walk kernels.
+//
+// The lane-mode round loop (walk/engine.hpp) is a classic pointer-chasing
+// workload: CSR offset row -> neighbor word -> visit-tracker word, with no
+// spatial locality once the graph outgrows the LLC. With per-lane RNG
+// streams the lanes are independent, so the kernel stages each block of
+// lanes and issues prefetches for the next stage's cache lines while the
+// current stage computes — that is where the engine's memory-level
+// parallelism comes from, and this header is the one place the compiler
+// intrinsic is spelled.
+#pragma once
+
+namespace manywalks {
+
+/// Hints the prefetcher to pull `addr`'s line toward L1 for a read. A
+/// no-op on compilers without __builtin_prefetch; never faults (the
+/// intrinsic ignores invalid addresses), so callers may pass one-past-end
+/// style speculative addresses.
+inline void mw_prefetch(const void* addr) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+#else
+  (void)addr;
+#endif
+}
+
+}  // namespace manywalks

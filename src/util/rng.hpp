@@ -9,13 +9,19 @@
 //   * SplitMix64  — tiny 64-bit generator, used for seeding and hashing.
 //   * Xoshiro256PlusPlus — the main generator (Blackman & Vigna), with
 //     jump() / long_jump() for 2^128 / 2^192 step stream separation.
-//   * Lemire's nearly-divisionless bounded sampling (uniform_below).
+//   * Lemire's nearly-divisionless bounded sampling (uniform_below, plus
+//     the full-word uniform_below_wide used by lane-mode walk kernels).
+//   * LaneRngs — a bank of per-lane streams derived from one master seed,
+//     the basis of the walk engine's lane sampling mode (determinism
+//     contract v2, docs/ARCHITECTURE.md).
 #pragma once
 
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <cstddef>
 #include <limits>
+#include <vector>
 
 namespace manywalks {
 
@@ -98,6 +104,12 @@ class Xoshiro256PlusPlus {
 
   /// Uniform value in [0, bound), bound >= 1. Lemire's nearly-divisionless
   /// method: one multiply in the common case, unbiased.
+  ///
+  /// Deliberately consumes only the LOW 32 bits of each 64-bit draw: this
+  /// is the draw the shared_legacy walk streams are pinned to (golden tests
+  /// in tests/test_lane_rng.cpp), so its mapping can never change. New code
+  /// that is free to pick its own stream should prefer uniform_below_wide,
+  /// whose rejection re-draws are ~2^32x rarer at large bounds.
   std::uint32_t uniform_below(std::uint32_t bound) noexcept {
     std::uint64_t x = next() & 0xffffffffULL;
     std::uint64_t m = x * bound;
@@ -111,6 +123,50 @@ class Xoshiro256PlusPlus {
       }
     }
     return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Uniform value in [0, bound), bound >= 1, consuming the FULL 64-bit
+  /// word in Lemire's multiply (64x32 -> 96-bit product; a single widening
+  /// multiply where __int128 exists, two 64-bit halves otherwise — both
+  /// reject on exactly the same lo64 < threshold condition, so the draw
+  /// sequence is identical across implementations). Rejection probability
+  /// drops from (2^32 mod bound)/2^32 — ~2.2% at bound = 10^8 — to
+  /// bound/2^64, i.e. essentially never. This is the bounded draw of the
+  /// lane-mode walk kernel (and of any stream with no legacy bit-compat
+  /// obligation).
+  std::uint32_t uniform_below_wide(std::uint32_t bound) noexcept {
+#if defined(__SIZEOF_INT128__)
+    __extension__ using u128 = unsigned __int128;
+    u128 m = static_cast<u128>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold =
+          (0ULL - std::uint64_t{bound}) % bound;  // 2^64 mod bound
+      while (lo < threshold) {
+        m = static_cast<u128>(next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 64);
+#else
+    std::uint64_t x = next();
+    std::uint64_t p_lo = (x & 0xffffffffULL) * bound;  // low  32 bits x bound
+    std::uint64_t p_hi = (x >> 32) * bound;            // high 32 bits x bound
+    // Low 64 bits of the 96-bit product x*bound (shift + add wrap mod 2^64).
+    std::uint64_t lo = (p_hi << 32) + p_lo;
+    if (lo < bound) {
+      const std::uint64_t threshold =
+          (0ULL - std::uint64_t{bound}) % bound;  // 2^64 mod bound
+      while (lo < threshold) {
+        x = next();
+        p_lo = (x & 0xffffffffULL) * bound;
+        p_hi = (x >> 32) * bound;
+        lo = (p_hi << 32) + p_lo;
+      }
+    }
+    // Top 32 bits of the 96-bit product: (p_hi + carry from p_lo) >> 32.
+    return static_cast<std::uint32_t>((p_hi + (p_lo >> 32)) >> 32);
+#endif
   }
 
   /// Uniform 64-bit value in [0, bound).
@@ -164,6 +220,59 @@ inline Rng make_trial_rng(std::uint64_t master_seed, std::uint64_t index) noexce
   // Mix the pair (seed, index) into a single 64-bit seed. The golden-ratio
   // constant decorrelates consecutive indices before the SplitMix64 expander.
   return Rng(mix64(master_seed ^ (index * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL)));
+}
+
+/// Derives the reproducible per-lane generator of the walk engine's lane
+/// sampling mode: lane `lane` under lane master `master` always sees the
+/// same stream, independent of thread count and scheduling (determinism
+/// contract v2). Same mixing shape as make_trial_rng but with a distinct
+/// additive salt, so a lane stream can never alias a trial stream derived
+/// from the same 64-bit value.
+inline Rng make_lane_rng(std::uint64_t master, std::uint64_t lane) noexcept {
+  return Rng(mix64(master ^ (lane * 0x9e3779b97f4a7c15ULL + 0xd1b54a32d192ed03ULL)));
+}
+
+/// A bank of per-lane generators, one independent stream per walk token.
+/// Breaking the k tokens' shared-stream data dependency is what lets the
+/// engine's round loop be software-pipelined: lane i+1's draw no longer
+/// waits on lane i's next().
+class LaneRngs {
+ public:
+  LaneRngs() = default;
+
+  /// Re-derives `lanes` streams from `master` (cheap: one mix64 + four
+  /// SplitMix64 steps per lane; called once per engine reset).
+  void reseed(std::uint64_t master, std::size_t lanes) {
+    lanes_.clear();
+    lanes_.reserve(lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      lanes_.push_back(make_lane_rng(master, lane));
+    }
+  }
+
+  Rng& operator[](std::size_t lane) noexcept { return lanes_[lane]; }
+  const Rng& operator[](std::size_t lane) const noexcept {
+    return lanes_[lane];
+  }
+  Rng* data() noexcept { return lanes_.data(); }
+  std::size_t size() const noexcept { return lanes_.size(); }
+
+ private:
+  std::vector<Rng> lanes_;
+};
+
+/// Lane-mode neighbor-index draw: one masked word for power-of-two degrees,
+/// Lemire's full-word path otherwise. A pure function of (rng, degree) — so
+/// every substrate representation of the same graph consumes identical
+/// draws, and lane mode preserves the CSR-vs-implicit bit-identity of the
+/// CSR-ordered families exactly like the legacy stream does. (xoshiro256++
+/// low bits are full quality, unlike the + variant, so the mask is sound.)
+inline std::uint32_t lane_neighbor_index(Rng& rng,
+                                         std::uint32_t degree) noexcept {
+  if (std::has_single_bit(degree)) {
+    return static_cast<std::uint32_t>(rng.next()) & (degree - 1);
+  }
+  return rng.uniform_below_wide(degree);
 }
 
 }  // namespace manywalks

@@ -9,13 +9,59 @@
 
 namespace manywalks {
 
+/// How the engine turns the caller's Rng into per-step randomness
+/// (determinism contract v2, docs/ARCHITECTURE.md "RNG scheme").
+enum class RngMode : std::uint8_t {
+  /// "Whatever the layer's default is": the raw WalkEngineT primitives
+  /// resolve kDefault to kSharedLegacy, so every pre-lane engine call site
+  /// (and its golden/determinism tests) stays bit-identical; the sampling
+  /// layer — cover.hpp samplers, mc/estimators, the CLI experiments —
+  /// resolves it to kLane via resolve_sampler_mode().
+  kDefault,
+  /// One stream shared by all k tokens, consumed token by token in
+  /// walker.hpp order — bit-identical to the pre-lane engine. Serializes
+  /// the round loop on the stream's data dependency.
+  kSharedLegacy,
+  /// Per-token streams: the engine draws ONE 64-bit lane master from the
+  /// caller's stream at the first run after reset(), then derives lane i's
+  /// stream with make_lane_rng(master, i). Independent lanes let the round
+  /// loop software-pipeline its cache misses; still bit-reproducible
+  /// across thread counts and schedulers (the lane master comes from the
+  /// deterministic per-trial stream). The default of every sampler above
+  /// the raw engine.
+  kLane,
+};
+
 struct CoverOptions {
   /// Probability of a token staying put each step (0 = simple walk).
   double laziness = 0.0;
   /// Safety cap on rounds; a sample that reaches the cap reports
   /// covered=false with steps=step_cap.
   std::uint64_t step_cap = std::numeric_limits<std::uint64_t>::max();
+  /// Layer-resolved (see RngMode::kDefault): legacy at the raw engine,
+  /// lane in every sampler above it.
+  RngMode rng_mode = RngMode::kDefault;
 };
+
+/// CoverOptions with lane mode requested explicitly — the spelled-out form
+/// of the sampling layer's default, used where code wants to state the
+/// mode rather than inherit a layer default (CLI experiments, benches).
+constexpr CoverOptions lane_cover_options() noexcept {
+  CoverOptions options;
+  options.rng_mode = RngMode::kLane;
+  return options;
+}
+
+/// The sampling layer's mode resolution: an unspecified rng_mode means
+/// lane mode (determinism contract v2). Applied once at each public
+/// sampler's entry; the raw engine instead treats kDefault as
+/// kSharedLegacy.
+constexpr CoverOptions resolve_sampler_mode(CoverOptions options) noexcept {
+  if (options.rng_mode == RngMode::kDefault) {
+    options.rng_mode = RngMode::kLane;
+  }
+  return options;
+}
 
 struct CoverSample {
   std::uint64_t steps = 0;  ///< rounds until coverage (or the cap)

@@ -2,8 +2,9 @@
 
 namespace manywalks {
 
-// The hot loops compile here once, with the substrate accessors inlined
-// into the round loop, instead of in every including translation unit.
+// The hot loops (legacy shared-stream and pipelined lane-mode rounds)
+// compile here once, with the substrate accessors inlined into the round
+// loop, instead of in every including translation unit.
 template class WalkEngineT<CsrSubstrate>;
 template class WalkEngineT<CycleSubstrate>;
 template class WalkEngineT<TorusSubstrate>;

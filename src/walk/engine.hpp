@@ -10,16 +10,33 @@
 // n/8-byte scratch is the ONLY O(n) allocation, which is what lets the
 // giant-graph experiments run at n = 10^7–10^8 with no CSR ever built.
 //
-// Determinism contract (tested in tests/test_engine.cpp and
-// tests/test_substrate.cpp): for the same Rng stream the engine consumes
-// random draws token by token in exactly the order of the walker.hpp path
-// — one uniform_below(degree) per step, with a preceding uniform01 draw
-// iff laziness > 0 — so the CSR instantiation samples cover times
-// byte-identical to the pre-engine implementation, and an implicit
-// substrate whose neighbor order matches CSR (cycle, torus, complete) is
-// bit-identical to the CSR engine too.
+// Two sampling modes (CoverOptions::rng_mode; docs/ARCHITECTURE.md "RNG
+// scheme" for the full determinism contract v2):
+//
+//   * kSharedLegacy — all k tokens consume ONE caller stream token by
+//     token in exactly the walker.hpp order: one uniform_below(degree) per
+//     step, with a preceding uniform01 draw iff laziness > 0. Byte-
+//     identical to the pre-engine implementation (tests/test_engine.cpp,
+//     tests/test_substrate.cpp) and to the pre-lane engine (golden tests
+//     in tests/test_lane_rng.cpp). The shared stream serializes the round
+//     loop: token i+1's draw depends on token i's rng.next().
+//
+//   * kLane — each token owns an independent stream derived from a single
+//     64-bit lane master (drawn once from the caller's stream at the first
+//     run after reset(); make_lane_rng(master, i) for lane i). Independent
+//     lanes break the cross-token dependency chain, so the round loop is
+//     software-pipelined: tokens are processed in blocks of kLaneBlock,
+//     and while one stage computes, prefetches for the next stage's CSR
+//     offset rows, neighbor words, and visit-tracker words are already in
+//     flight. The neighbor draw is lane_neighbor_index(rng, degree) — a
+//     pure function of (lane stream, degree), mask for power-of-two
+//     degrees, full-word Lemire otherwise — so CSR and implicit engines of
+//     the same CSR-ordered family stay bit-identical in lane mode too.
+//     Still bit-reproducible across --threads values and schedulers.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -27,6 +44,7 @@
 #include "graph/graph.hpp"
 #include "graph/substrate.hpp"
 #include "util/check.hpp"
+#include "util/prefetch.hpp"
 #include "util/rng.hpp"
 #include "walk/cover_types.hpp"
 #include "walk/visit_tracker.hpp"
@@ -35,9 +53,10 @@ namespace manywalks {
 
 namespace detail {
 
-/// One token step over a substrate. Draw order matches walker.hpp: lazy
-/// walks spend one uniform01 before the (possibly skipped) neighbor draw;
-/// simple walks spend exactly one uniform_below(degree).
+/// One token step over a substrate, legacy shared stream. Draw order
+/// matches walker.hpp: lazy walks spend one uniform01 before the (possibly
+/// skipped) neighbor draw; simple walks spend exactly one
+/// uniform_below(degree).
 template <bool kLazy, class S>
 inline Vertex advance_token(Vertex v, const S& substrate, Rng& rng,
                             double laziness) {
@@ -46,6 +65,238 @@ inline Vertex advance_token(Vertex v, const S& substrate, Rng& rng,
   }
   const Vertex degree = substrate.degree(v);
   return substrate.neighbor(v, rng.uniform_below(degree));
+}
+
+/// Lanes per pipeline block. 16 independent loads in flight comfortably
+/// saturates the miss queues of current cores while the stage scratch
+/// (two 16-entry arrays) stays in registers/L1.
+inline constexpr std::size_t kLaneBlock = 16;
+
+/// Stage-1 marker for a lane that drew "stay put" (lazy walks only); no
+/// real arc index can be ~0 (num_arcs < 2^64).
+inline constexpr std::uint64_t kStayArc = ~std::uint64_t{0};
+
+/// Marks one landing in the visit scratch (and the optional counters).
+template <bool kCounts>
+inline void commit_visit(Vertex v, std::uint64_t* words, Vertex& visited,
+                         [[maybe_unused]] std::uint64_t* counts) {
+  std::uint64_t& word = words[v >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (v & 63);
+  if ((word & bit) == 0) {
+    word |= bit;
+    ++visited;
+  }
+  if constexpr (kCounts) ++counts[v];
+}
+
+/// One pipelined lane-mode round over an arc-addressable (CSR) substrate.
+/// Three stages per block, each issuing the next stage's prefetches while
+/// the current one computes:
+///   1. offset-row loads + per-lane draws, prefetch the neighbor words;
+///   2. neighbor loads, prefetch the visit-tracker words (and the NEXT
+///      block's offset rows, overlapping its stage 1);
+///   3. commit tokens/bits/counters, warm the landing vertex's offset row
+///      for the next round.
+template <bool kLazy, bool kCounts, class S>
+inline void lane_round_csr(const S& substrate, Vertex* toks, Rng* rngs,
+                           std::size_t k, [[maybe_unused]] double laziness,
+                           std::uint64_t* words, Vertex& visited,
+                           [[maybe_unused]] std::uint64_t* counts) {
+  std::uint64_t arcs[kLaneBlock];
+  Vertex nexts[kLaneBlock];
+  const std::size_t first = std::min(k, kLaneBlock);
+  for (std::size_t j = 0; j < first; ++j) {
+    substrate.prefetch_degree_row(toks[j]);
+  }
+  for (std::size_t base = 0; base < k; base += kLaneBlock) {
+    const std::size_t nb = std::min(kLaneBlock, k - base);
+    for (std::size_t j = 0; j < nb; ++j) {  // stage 1
+      const std::size_t i = base + j;
+      const Vertex v = toks[i];
+      if constexpr (kLazy) {
+        if (rngs[i].uniform01() < laziness) {
+          arcs[j] = kStayArc;
+          nexts[j] = v;
+          continue;
+        }
+      }
+      const auto degree = static_cast<std::uint32_t>(substrate.degree(v));
+      const std::uint64_t arc = substrate.arc_index(
+          v, static_cast<Vertex>(lane_neighbor_index(rngs[i], degree)));
+      arcs[j] = arc;
+      substrate.prefetch_arc(arc);
+    }
+    const std::size_t next_base = base + kLaneBlock;
+    if (next_base < k) {  // overlap the next block's stage-1 row loads
+      const std::size_t nn = std::min(kLaneBlock, k - next_base);
+      for (std::size_t j = 0; j < nn; ++j) {
+        substrate.prefetch_degree_row(toks[next_base + j]);
+      }
+    }
+    for (std::size_t j = 0; j < nb; ++j) {  // stage 2
+      if constexpr (kLazy) {
+        if (arcs[j] == kStayArc) {
+          mw_prefetch(&words[nexts[j] >> 6]);
+          continue;
+        }
+      }
+      const Vertex v = substrate.arc_target(arcs[j]);
+      nexts[j] = v;
+      mw_prefetch(&words[v >> 6]);
+    }
+    for (std::size_t j = 0; j < nb; ++j) {  // stage 3
+      const Vertex v = nexts[j];
+      toks[base + j] = v;
+      commit_visit<kCounts>(v, words, visited, counts);
+      substrate.prefetch_degree_row(v);
+    }
+  }
+}
+
+// Draw policies for the direct (non-arc-addressable) lane round. All three
+// consume exactly the draws of lane_neighbor_index(rng, degree) — the
+// hoisted variants just resolve its power-of-two branch outside the loop.
+
+/// degree is a power of two: one raw word, masked.
+struct LaneMaskDraw {
+  std::uint64_t mask;
+  template <class S>
+  Vertex operator()(Rng& rng, const S&, Vertex) const noexcept {
+    return static_cast<Vertex>(rng.next() & mask);
+  }
+};
+
+/// Uniform degree, not a power of two: hoisted full-word Lemire.
+struct LaneWideDraw {
+  std::uint32_t degree;
+  template <class S>
+  Vertex operator()(Rng& rng, const S&, Vertex) const noexcept {
+    return static_cast<Vertex>(rng.uniform_below_wide(degree));
+  }
+};
+
+/// Arbitrary substrate: per-vertex degree through lane_neighbor_index.
+struct LanePerVertexDraw {
+  template <class S>
+  Vertex operator()(Rng& rng, const S& substrate, Vertex v) const noexcept {
+    return static_cast<Vertex>(lane_neighbor_index(
+        rng, static_cast<std::uint32_t>(substrate.degree(v))));
+  }
+};
+
+/// One lane-mode round over a closed-form substrate: the adjacency costs
+/// no loads, so no staging is worth its overhead — a fused loop of k
+/// independent (rng, position) chains already lets the core overlap the
+/// tracker-word accesses, the only memory the implicit families touch.
+template <bool kLazy, bool kCounts, class S, class Draw>
+inline void lane_round_direct(const S& substrate, Draw draw, Vertex* toks,
+                              Rng* rngs, std::size_t k,
+                              [[maybe_unused]] double laziness,
+                              std::uint64_t* words, Vertex& visited,
+                              [[maybe_unused]] std::uint64_t* counts) {
+  for (std::size_t i = 0; i < k; ++i) {
+    Vertex v = toks[i];
+    if constexpr (kLazy) {
+      if (rngs[i].uniform01() < laziness) {
+        commit_visit<kCounts>(v, words, visited, counts);
+        continue;
+      }
+    }
+    v = substrate.neighbor(v, draw(rngs[i], substrate, v));
+    toks[i] = v;
+    commit_visit<kCounts>(v, words, visited, counts);
+  }
+}
+
+/// All `rounds` lane-mode steps of every lane, lane-major: with no
+/// per-round coverage check to honor, each lane's whole strip runs with
+/// its RNG state and position in registers (the per-step state load/store
+/// tax of the round-major schedule is what keeps ALU-bound substrates at
+/// legacy parity). Tracker-bit sets and visit-counter increments commute
+/// and lanes never read each other's state in a fixed-rounds run, so the
+/// final tokens/visited-set/counts are identical to the round-major
+/// schedule. Arc-addressable substrates keep the round-major kernels:
+/// their throughput comes from overlapping k independent memory chains,
+/// which lane-major would serialize.
+template <bool kLazy, bool kCounts, class S, class Draw>
+inline void lane_steps_lane_major(const S& substrate, Draw draw,
+                                  std::uint64_t rounds, Vertex* toks,
+                                  Rng* rngs, std::size_t k,
+                                  [[maybe_unused]] double laziness,
+                                  std::uint64_t* words, Vertex& visited,
+                                  [[maybe_unused]] std::uint64_t* counts) {
+  const auto advance = [&](Rng& rng, Vertex v) {
+    if constexpr (kLazy) {
+      if (rng.uniform01() < laziness) {
+        commit_visit<kCounts>(v, words, visited, counts);
+        return v;
+      }
+    }
+    v = substrate.neighbor(v, draw(rng, substrate, v));
+    commit_visit<kCounts>(v, words, visited, counts);
+    return v;
+  };
+  // Four lanes per strip: their states stay register/L1-local across all
+  // rounds, and interleaving four independent chains keeps long-latency
+  // neighbor math (e.g. the torus division) pipelined — the cross-lane ILP
+  // a one-lane strip would forfeit.
+  std::size_t i = 0;
+  for (; i + 4 <= k; i += 4) {
+    Rng r0 = rngs[i], r1 = rngs[i + 1], r2 = rngs[i + 2], r3 = rngs[i + 3];
+    Vertex v0 = toks[i], v1 = toks[i + 1], v2 = toks[i + 2],
+           v3 = toks[i + 3];
+    for (std::uint64_t t = 0; t < rounds; ++t) {
+      v0 = advance(r0, v0);
+      v1 = advance(r1, v1);
+      v2 = advance(r2, v2);
+      v3 = advance(r3, v3);
+    }
+    rngs[i] = r0;
+    rngs[i + 1] = r1;
+    rngs[i + 2] = r2;
+    rngs[i + 3] = r3;
+    toks[i] = v0;
+    toks[i + 1] = v1;
+    toks[i + 2] = v2;
+    toks[i + 3] = v3;
+  }
+  for (; i < k; ++i) {  // tail lanes, one strip each
+    Rng rng = rngs[i];
+    Vertex v = toks[i];
+    for (std::uint64_t t = 0; t < rounds; ++t) v = advance(rng, v);
+    toks[i] = v;
+    rngs[i] = rng;
+  }
+}
+
+/// One lane-mode round over a REGULAR arc-addressable substrate
+/// (regular_stride() != 0): arc = stride*v + draw needs no offset-row
+/// load, so each lane's per-step dependency chain is exactly one memory
+/// access — the neighbor word — and the loop prefetches the landing
+/// vertex's adjacency row the moment it is known, a full round before the
+/// next draw reads it.
+template <bool kLazy, bool kCounts, class S, class Draw>
+inline void lane_round_csr_regular(const S& substrate, Draw draw,
+                                   std::uint64_t stride, Vertex* toks,
+                                   Rng* rngs, std::size_t k,
+                                   [[maybe_unused]] double laziness,
+                                   std::uint64_t* words, Vertex& visited,
+                                   [[maybe_unused]] std::uint64_t* counts) {
+  for (std::size_t i = 0; i < k; ++i) {
+    Vertex v = toks[i];
+    if constexpr (kLazy) {
+      if (rngs[i].uniform01() < laziness) {
+        commit_visit<kCounts>(v, words, visited, counts);
+        continue;
+      }
+    }
+    const std::uint64_t arc =
+        stride * v + draw(rngs[i], substrate, v);
+    v = substrate.arc_target(arc);
+    toks[i] = v;
+    substrate.prefetch_arc(stride * v);  // next round's row, one round early
+    commit_visit<kCounts>(v, words, visited, counts);
+  }
 }
 
 }  // namespace detail
@@ -71,7 +322,9 @@ class WalkEngineT {
 
   /// Re-seeds the tokens (each validated against the vertex range) and
   /// resets the visited scratch; the starts count as visited at t = 0.
-  /// Cheap enough to call once per Monte-Carlo trial.
+  /// Cheap enough to call once per Monte-Carlo trial. Also discards any
+  /// lane streams: the next lane-mode run derives fresh lanes from its
+  /// caller's stream.
   void reset(std::span<const Vertex> starts) {
     MW_REQUIRE(!starts.empty(), "k-walk needs at least one token");
     tracker_.reset();
@@ -80,6 +333,7 @@ class WalkEngineT {
       MW_REQUIRE(s < num_vertices_, "start vertex out of range");
       tracker_.visit(s);
     }
+    lanes_seeded_ = false;
   }
 
   /// Advances all tokens round by round until `target` distinct vertices
@@ -99,6 +353,13 @@ class WalkEngineT {
       sample.covered = true;
       return sample;
     }
+    if (options.rng_mode == RngMode::kLane) {
+      if (options.step_cap == 0) return sample;  // no rounds, no draws
+      ensure_lanes(rng);
+      return options.laziness > 0.0
+                 ? run_until_visited_lane<true>(target, options)
+                 : run_until_visited_lane<false>(target, options);
+    }
     return options.laziness > 0.0
                ? run_until_visited_impl<true>(target, rng, options)
                : run_until_visited_impl<false>(target, rng, options);
@@ -107,14 +368,39 @@ class WalkEngineT {
   /// Advances all tokens for exactly `rounds` rounds, marking visits. When
   /// `visit_counts` is non-null it must point at num_vertices() counters;
   /// each token increments its landing vertex's counter every step.
+  /// Chunked calls are equivalent to one combined call in both modes
+  /// (lane mode seeds its lanes once, at the first non-empty run after
+  /// reset(), consuming exactly one draw of `rng`).
   void run_for_steps(std::uint64_t rounds, Rng& rng, double laziness = 0.0,
-                     std::uint64_t* visit_counts = nullptr) {
+                     std::uint64_t* visit_counts = nullptr,
+                     RngMode rng_mode = RngMode::kSharedLegacy) {
     MW_REQUIRE(!tokens_.empty(), "no tokens; call reset() before running");
     MW_REQUIRE(laziness >= 0.0 && laziness < 1.0, "laziness must be in [0,1)");
+    if (rng_mode == RngMode::kLane) {
+      if (rounds == 0) return;
+      ensure_lanes(rng);
+      if (laziness > 0.0) {
+        visit_counts != nullptr
+            ? run_for_steps_lane<true, true>(rounds, laziness, visit_counts)
+            : run_for_steps_lane<true, false>(rounds, laziness, visit_counts);
+      } else {
+        visit_counts != nullptr
+            ? run_for_steps_lane<false, true>(rounds, laziness, visit_counts)
+            : run_for_steps_lane<false, false>(rounds, laziness, visit_counts);
+      }
+      return;
+    }
     if (laziness > 0.0) {
-      run_for_steps_impl<true>(rounds, rng, laziness, visit_counts);
+      visit_counts != nullptr
+          ? run_for_steps_impl<true, true>(rounds, rng, laziness, visit_counts)
+          : run_for_steps_impl<true, false>(rounds, rng, laziness,
+                                            visit_counts);
     } else {
-      run_for_steps_impl<false>(rounds, rng, laziness, visit_counts);
+      visit_counts != nullptr
+          ? run_for_steps_impl<false, true>(rounds, rng, laziness,
+                                            visit_counts)
+          : run_for_steps_impl<false, false>(rounds, rng, laziness,
+                                             visit_counts);
     }
   }
 
@@ -126,6 +412,149 @@ class WalkEngineT {
   bool visited(Vertex v) const { return tracker_.visited(v); }
 
  private:
+  /// Derives the per-token lane streams on the first lane-mode run after a
+  /// reset(): one 64-bit lane master off the caller's stream, then
+  /// make_lane_rng(master, i) per lane. Subsequent (chunked) runs continue
+  /// the same lanes and never touch `rng` again.
+  void ensure_lanes(Rng& rng) {
+    if (!lanes_seeded_) {
+      lane_rngs_.reseed(rng.next(), tokens_.size());
+      lanes_seeded_ = true;
+    }
+  }
+
+  /// Hands `body` the hoisted draw policy for a known uniform degree —
+  /// mask for powers of two, full-word Lemire otherwise. The single place
+  /// the hoisted dispatch is spelled: both the uniform-degree substrates
+  /// and the regular-CSR stride path resolve through here, so the
+  /// draw-stream invariant (every policy consumes exactly the draws of
+  /// lane_neighbor_index(rng, degree)) cannot diverge between them.
+  template <class Body>
+  static auto with_hoisted_draw(std::uint32_t degree, Body&& body) {
+    if (std::has_single_bit(degree)) {
+      return body(detail::LaneMaskDraw{std::uint64_t{degree} - 1});
+    }
+    return body(detail::LaneWideDraw{degree});
+  }
+
+  /// Resolves the lane draw policy for this substrate — the hoisted mask
+  /// or full-word Lemire draw for uniform-degree families (constexpr for
+  /// advertised pow2_degree, one runtime has_single_bit otherwise), or the
+  /// per-vertex lane_neighbor_index fallback — and hands it to `body`. All
+  /// policies consume exactly the draws of lane_neighbor_index(rng,
+  /// degree), so the choice never changes the stream.
+  template <class Body>
+  static auto with_lane_draw(const S& substrate, Body&& body) {
+    if constexpr (Pow2DegreeSubstrate<S>) {
+      return body(detail::LaneMaskDraw{std::uint64_t{substrate.degree(0)} - 1});
+    } else if constexpr (UniformDegreeSubstrate<S>) {
+      return with_hoisted_draw(static_cast<std::uint32_t>(substrate.degree(0)),
+                               std::forward<Body>(body));
+    } else {
+      return body(detail::LanePerVertexDraw{});
+    }
+  }
+
+  /// Resolves the lane ROUND kernel for this substrate — stride-addressed
+  /// or staged-pipeline CSR round, fused direct round otherwise — and
+  /// hands it to `body` as a nullary callable.
+  template <bool kLazy, bool kCounts, class Body>
+  auto with_lane_round(const S& substrate, Vertex* toks, Rng* rngs,
+                       std::size_t k, double laziness, std::uint64_t* words,
+                       Vertex& visited, std::uint64_t* counts, Body&& body) {
+    if constexpr (ArcAddressableSubstrate<S>) {
+      const auto stride =
+          static_cast<std::uint64_t>(substrate.regular_stride());
+      if (stride != 0) {
+        // Regular graph: stride addressing + the shared hoisted draw
+        // dispatch, so the stream is identical to what the general
+        // (per-vertex lane_neighbor_index) path would consume.
+        return with_hoisted_draw(
+            static_cast<std::uint32_t>(stride), [&](auto draw) {
+              return body([&, draw] {
+                detail::lane_round_csr_regular<kLazy, kCounts>(
+                    substrate, draw, stride, toks, rngs, k, laziness, words,
+                    visited, counts);
+              });
+            });
+      }
+      return body([&] {
+        detail::lane_round_csr<kLazy, kCounts>(substrate, toks, rngs, k,
+                                               laziness, words, visited,
+                                               counts);
+      });
+    } else {
+      return with_lane_draw(substrate, [&](auto draw) {
+        return body([&, draw] {
+          detail::lane_round_direct<kLazy, kCounts>(substrate, draw, toks,
+                                                    rngs, k, laziness, words,
+                                                    visited, counts);
+        });
+      });
+    }
+  }
+
+  template <bool kLazy>
+  CoverSample run_until_visited_lane(Vertex target,
+                                     const CoverOptions& options) {
+    const S substrate = substrate_;  // register-resident copy for the loop
+    Vertex* const toks = tokens_.data();
+    std::uint64_t* const words = tracker_.words();
+    const std::size_t k = tokens_.size();
+    Rng* const rngs = lane_rngs_.data();
+    const double laziness = options.laziness;
+    Vertex visited = tracker_.num_visited();
+
+    return with_lane_round<kLazy, false>(
+        substrate, toks, rngs, k, laziness, words, visited, nullptr,
+        [&](auto&& round) {
+          CoverSample sample;
+          std::uint64_t t = 0;
+          while (t < options.step_cap) {
+            ++t;
+            round();
+            if (visited >= target) {
+              tracker_.set_num_visited(visited);
+              sample.steps = t;
+              sample.covered = true;
+              return sample;
+            }
+          }
+          tracker_.set_num_visited(visited);
+          sample.steps = options.step_cap;
+          sample.covered = false;
+          return sample;
+        });
+  }
+
+  template <bool kLazy, bool kCounts>
+  void run_for_steps_lane(std::uint64_t rounds, double laziness,
+                          std::uint64_t* visit_counts) {
+    const S substrate = substrate_;
+    Vertex* const toks = tokens_.data();
+    std::uint64_t* const words = tracker_.words();
+    const std::size_t k = tokens_.size();
+    Rng* const rngs = lane_rngs_.data();
+    Vertex visited = tracker_.num_visited();
+
+    if constexpr (ArcAddressableSubstrate<S>) {
+      with_lane_round<kLazy, kCounts>(
+          substrate, toks, rngs, k, laziness, words, visited, visit_counts,
+          [&](auto&& round) {
+            for (std::uint64_t t = 0; t < rounds; ++t) round();
+          });
+    } else {
+      // No per-round check to honor: run each lane's whole strip with its
+      // state in registers (see lane_steps_lane_major).
+      with_lane_draw(substrate, [&](auto draw) {
+        detail::lane_steps_lane_major<kLazy, kCounts>(
+            substrate, draw, rounds, toks, rngs, k, laziness, words, visited,
+            visit_counts);
+      });
+    }
+    tracker_.set_num_visited(visited);
+  }
+
   template <bool kLazy>
   CoverSample run_until_visited_impl(Vertex target, Rng& rng,
                                      const CoverOptions& options) {
@@ -144,12 +573,7 @@ class WalkEngineT {
         const Vertex v =
             detail::advance_token<kLazy>(toks[i], substrate, rng, laziness);
         toks[i] = v;
-        std::uint64_t& word = words[v >> 6];
-        const std::uint64_t bit = std::uint64_t{1} << (v & 63);
-        if ((word & bit) == 0) {
-          word |= bit;
-          ++visited;
-        }
+        detail::commit_visit<false>(v, words, visited, nullptr);
       }
       if (visited >= target) {
         tracker_.set_num_visited(visited);
@@ -164,7 +588,7 @@ class WalkEngineT {
     return sample;
   }
 
-  template <bool kLazy>
+  template <bool kLazy, bool kCounts>
   void run_for_steps_impl(std::uint64_t rounds, Rng& rng, double laziness,
                           std::uint64_t* visit_counts) {
     const S substrate = substrate_;
@@ -178,13 +602,7 @@ class WalkEngineT {
         const Vertex v =
             detail::advance_token<kLazy>(toks[i], substrate, rng, laziness);
         toks[i] = v;
-        std::uint64_t& word = words[v >> 6];
-        const std::uint64_t bit = std::uint64_t{1} << (v & 63);
-        if ((word & bit) == 0) {
-          word |= bit;
-          ++visited;
-        }
-        if (visit_counts != nullptr) ++visit_counts[v];
+        detail::commit_visit<kCounts>(v, words, visited, visit_counts);
       }
     }
     tracker_.set_num_visited(visited);
@@ -194,6 +612,8 @@ class WalkEngineT {
   Vertex num_vertices_;
   std::vector<Vertex> tokens_;
   WordVisitTracker tracker_;
+  LaneRngs lane_rngs_;
+  bool lanes_seeded_ = false;
 };
 
 // The instantiations every caller uses live in engine.cpp; a custom
