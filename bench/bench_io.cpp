@@ -1,0 +1,135 @@
+// Graph I/O throughput: the text edge-list reader (now a from_chars
+// scanner) against the mwg binary store — write cost, load cost, and the
+// end-to-end "bytes on disk to walk-ready substrate" comparison that
+// motivates the storage/ subsystem: text parsing is O(edges) work per
+// load, the mmap path is O(vertices) validation and zero adjacency
+// copies.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "storage/mapped_graph.hpp"
+#include "storage/mwg.hpp"
+#include "walk/engine.hpp"
+
+namespace {
+
+using namespace manywalks;
+
+// Margulis side 64: n = 4096 vertices, 8-regular -> 32768 arcs. Dense
+// enough that parse cost dominates; small enough to iterate quickly.
+const Graph& bench_graph() {
+  static const Graph g = make_margulis_expander(64);
+  return g;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// The text serialization of the bench graph, parsed from memory so the
+/// benchmark measures the scanner, not the page cache.
+const std::string& edge_list_text() {
+  static const std::string text = [] {
+    std::ostringstream os;
+    write_edge_list(os, bench_graph());
+    return os.str();
+  }();
+  return text;
+}
+
+const std::string& mwg_path() {
+  static const std::string path = [] {
+    const std::string p = temp_path("bench_io_graph.mwg");
+    write_mwg(p, bench_graph());
+    return p;
+  }();
+  return path;
+}
+
+void BM_TextEdgeListParse(benchmark::State& state) {
+  const std::string& text = edge_list_text();
+  for (auto _ : state) {
+    std::istringstream is(text);
+    const Graph g = read_edge_list(is);
+    benchmark::DoNotOptimize(g.num_arcs());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bench_graph().num_edges()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+
+void BM_TextEdgeListWrite(benchmark::State& state) {
+  for (auto _ : state) {
+    std::ostringstream os;
+    write_edge_list(os, bench_graph());
+    benchmark::DoNotOptimize(os.str().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bench_graph().num_edges()));
+}
+
+void BM_MwgWrite(benchmark::State& state) {
+  const std::string path = temp_path("bench_io_write.mwg");
+  for (auto _ : state) {
+    write_mwg(path, bench_graph());
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bench_graph().num_edges()));
+}
+
+void BM_MwgMapLoad(benchmark::State& state) {
+  const std::string& path = mwg_path();
+  for (auto _ : state) {
+    const MappedGraph mapped(path);
+    benchmark::DoNotOptimize(mapped.num_arcs());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bench_graph().num_edges()));
+}
+
+/// Load + bind + one k-walk burst: the end-to-end cost a stored-graph
+/// experiment trial actually pays per process, mmap vs text.
+template <bool kMmap>
+void load_and_walk(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(7);
+    const std::vector<Vertex> starts(8, 0);
+    std::uint64_t visited = 0;
+    if constexpr (kMmap) {
+      const MappedGraph mapped(mwg_path());
+      WalkEngineT<CsrSubstrate> engine(mapped.substrate());
+      engine.reset(starts);
+      engine.run_for_steps(4096, rng);
+      visited = engine.num_visited();
+    } else {
+      std::istringstream is(edge_list_text());
+      const Graph g = read_edge_list(is);
+      WalkEngine engine(g);
+      engine.reset(starts);
+      engine.run_for_steps(4096, rng);
+      visited = engine.num_visited();
+    }
+    benchmark::DoNotOptimize(visited);
+  }
+}
+
+void BM_LoadAndWalkText(benchmark::State& state) { load_and_walk<false>(state); }
+void BM_LoadAndWalkMwg(benchmark::State& state) { load_and_walk<true>(state); }
+
+BENCHMARK(BM_TextEdgeListParse);
+BENCHMARK(BM_TextEdgeListWrite);
+BENCHMARK(BM_MwgWrite);
+BENCHMARK(BM_MwgMapLoad);
+BENCHMARK(BM_LoadAndWalkText);
+BENCHMARK(BM_LoadAndWalkMwg);
+
+}  // namespace

@@ -4,6 +4,7 @@
 #include <iostream>
 #include <string>
 
+#include "cli/graph_tool.hpp"
 #include "cli/presets.hpp"
 #include "cli/registry.hpp"
 #include "cli/sinks.hpp"
@@ -32,6 +33,11 @@ void print_usage(std::ostream& os) {
         "                               --seed=<s> --threads=<w>\n"
         "                               --format=text|json|csv --out=<dir>\n"
         "  manywalks table1 [opts]      shorthand for `run table1_summary`\n"
+        "  manywalks graph <cmd>        on-disk graph tooling: gen/convert\n"
+        "                               edge lists to .mwg binary CSR files\n"
+        "                               and inspect them (`graph help`);\n"
+        "                               run them via `run mwg-speedup\n"
+        "                               --graph=FILE.mwg`\n"
         "  manywalks help               this message\n"
         "\n"
         "`manywalks run <exp> --help` lists the experiment's own options.\n"
@@ -106,6 +112,13 @@ int run_experiment_main(std::string_view name, int argc, char** argv) {
                       "distinct-vertex coverage target (0 = preset, "
                       "clamped to n)");
   }
+  if (has_extra(info, ExtraParam::kStart)) {
+    parser.add_option("start", &params.start, "start vertex");
+  }
+  if (has_extra(info, ExtraParam::kGraph)) {
+    parser.add_option("graph", &params.graph,
+                      "stored .mwg graph file (see `manywalks graph`)");
+  }
   if (!parser.parse(argc, argv)) return 1;
   if (!parse_output_format(format_text, &sink.format)) {
     std::cerr << info.name << ": unknown --format '" << format_text
@@ -142,6 +155,9 @@ int manywalks_main(int argc, char** argv) {
   }
   if (command == "table1") {
     return run_experiment_main("table1_summary", argc - 1, argv + 1);
+  }
+  if (command == "graph") {
+    return graph_tool_main(argc - 1, argv + 1);
   }
   if (command == "run") {
     if (argc < 3 || std::string_view(argv[2]).rfind("--", 0) == 0) {

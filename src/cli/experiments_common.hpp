@@ -31,6 +31,29 @@ inline std::vector<unsigned> geometric_ks(std::uint64_t k_limit,
   return ks;
 }
 
+/// Guard on --kmax/--k style walk counts: a sweep point allocates 4k bytes
+/// of tokens and does k token-steps per round, so reject absurd values up
+/// front instead of grinding into an OOM (2^20 walks is already far past
+/// every regime the paper discusses).
+inline std::uint64_t checked_walk_count(const char* name,
+                                        std::uint64_t k_limit) {
+  constexpr std::uint64_t kMaxWalks = 1ULL << 20;
+  MW_REQUIRE(k_limit <= kMaxWalks,
+             name << ": walk count " << k_limit << " exceeds the supported "
+                  << kMaxWalks << " walks");
+  return k_limit;
+}
+
+/// Clamps a --target coverage goal into [2, n]: 0 (and anything past n)
+/// means full cover, and a target of 1 is degenerate — the start vertex
+/// alone covers it at t = 0. Shared by the giant-* and mwg-* experiments
+/// so the clamping policy cannot drift between them.
+inline std::uint32_t clamp_cover_target(std::uint64_t target,
+                                        std::uint32_t n) {
+  if (target == 0 || target > n) return n;
+  return static_cast<std::uint32_t>(std::max<std::uint64_t>(target, 2));
+}
+
 inline void push_param(ExperimentResult& result, std::string name,
                        std::uint64_t value) {
   result.params.emplace_back(std::move(name), ResultCell{value});

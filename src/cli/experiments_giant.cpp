@@ -28,27 +28,6 @@ namespace manywalks::cli {
 
 namespace {
 
-/// The giant experiments accept --kmax but a sweep point allocates 4k
-/// bytes of tokens and does k token-steps per round: reject absurd values
-/// up front instead of grinding into an OOM (2^20 walks is already far
-/// past every regime the paper discusses).
-std::uint64_t checked_k_limit(const char* name, std::uint64_t k_limit) {
-  constexpr std::uint64_t kMaxWalks = 1ULL << 20;
-  MW_REQUIRE(k_limit <= kMaxWalks,
-             name << ": kmax " << k_limit << " exceeds the supported "
-                  << kMaxWalks << " walks");
-  return k_limit;
-}
-
-/// Clamps the preset/--target coverage goal into [2, n] (the CLI smoke
-/// sizes run these experiments at tiny n, where the preset would exceed
-/// the whole vertex set; a target of 1 is degenerate — the start vertex
-/// alone already covers it at t = 0).
-Vertex clamp_target(std::uint64_t target, Vertex n) {
-  if (target == 0 || target > n) return n;
-  return static_cast<Vertex>(std::max<std::uint64_t>(target, 2));
-}
-
 std::string memory_model_line(std::uint64_t n, std::uint64_t degree) {
   // CSR cost: (n+1) 8-byte offsets + degree*n 4-byte targets.
   const double csr_mib = (8.0 * (static_cast<double>(n) + 1.0) +
@@ -109,8 +88,8 @@ ExperimentResult run_giant_cycle(const ExperimentParams& params,
   const auto n = static_cast<Vertex>(n64);
   const std::uint64_t trials = resolve_trials(preset, params);
   const std::uint64_t k_limit =
-      checked_k_limit("giant-cycle-speedup", resolve_kmax(preset, params));
-  const Vertex target = clamp_target(resolve_target(preset, params), n);
+      checked_walk_count("giant-cycle-speedup", resolve_kmax(preset, params));
+  const Vertex target = clamp_cover_target(resolve_target(preset, params), n);
 
   const CycleSubstrate substrate(n);
   const std::vector<unsigned> ks = geometric_ks(k_limit);
@@ -164,8 +143,8 @@ ExperimentResult run_giant_torus(const ExperimentParams& params,
   const Vertex n = substrate.num_vertices();
   const std::uint64_t trials = resolve_trials(preset, params);
   const std::uint64_t k_limit =
-      checked_k_limit("giant-torus-speedup", resolve_kmax(preset, params));
-  const Vertex target = clamp_target(resolve_target(preset, params), n);
+      checked_walk_count("giant-torus-speedup", resolve_kmax(preset, params));
+  const Vertex target = clamp_cover_target(resolve_target(preset, params), n);
 
   const std::vector<unsigned> ks = geometric_ks(k_limit);
 

@@ -1,0 +1,243 @@
+#include "cli/graph_tool.hpp"
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/families.hpp"
+#include "storage/ingest.hpp"
+#include "storage/mapped_graph.hpp"
+#include "storage/mwg.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace manywalks::cli {
+
+namespace {
+
+void print_graph_usage(std::ostream& os) {
+  os << "manywalks graph — on-disk graph tooling (mwg v1 binary CSR)\n"
+        "\n"
+        "Usage:\n"
+        "  manywalks graph gen --family=NAME --n=N [--seed=S] --out=F.mwg\n"
+        "                               synthesize a family and store it\n"
+        "                               (families: cycle, grid2d, margulis,\n"
+        "                               random-regular, ... — see docs)\n"
+        "  manywalks graph convert --in=EDGES.txt --out=F.mwg\n"
+        "                               [--keep-duplicates]\n"
+        "                               [--keep-self-loops]\n"
+        "                               [--largest-component]\n"
+        "                               ingest a headerless (SNAP-style)\n"
+        "                               edge list: whitespace pairs, #/%\n"
+        "                               comments, arbitrary vertex ids\n"
+        "  manywalks graph info FILE.mwg [--deep]\n"
+        "                               header + degree statistics from the\n"
+        "                               mapped file; --deep also validates\n"
+        "                               the full adjacency\n"
+        "\n"
+        "Run experiments on a stored graph with\n"
+        "  manywalks run mwg-speedup --graph=F.mwg\n"
+        "  manywalks run mwg-starts  --graph=F.mwg\n";
+}
+
+/// Pulls a LEADING positional argument (the input path) out of argv so
+/// `manywalks graph info FILE.mwg --deep` works alongside `--in=`. Only
+/// the first argument can be positional: a bare word later in the line is
+/// ambiguous with the `--opt value` form (it would be some option's
+/// value), so it is left for ArgParser to handle.
+std::vector<char*> take_positional(int argc, char** argv, std::string* in) {
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  int i = 1;
+  if (argc > 1 && argv[1][0] != '\0' && argv[1][0] != '-') {
+    *in = argv[1];
+    i = 2;
+  }
+  for (; i < argc; ++i) rest.push_back(argv[i]);
+  return rest;
+}
+
+int run_gen(int argc, char** argv) {
+  std::string family_text;
+  std::uint64_t n = 1024;
+  std::uint64_t seed = 1;
+  std::string out;
+  ArgParser parser("manywalks graph gen",
+                   "synthesize a graph family into an mwg file");
+  parser.add_option("family", &family_text,
+                    "family name (cycle, grid2d, hypercube, barbell, "
+                    "margulis, random-regular, erdos-renyi, ...)")
+      .add_option("n", &n, "target vertex count (rounded to the family's "
+                           "natural parameterization)")
+      .add_option("seed", &seed, "seed for the random families")
+      .add_option("out", &out, "output .mwg path");
+  if (!parser.parse(argc, argv)) return 1;
+  if (family_text.empty() || out.empty()) {
+    std::cerr << "manywalks graph gen: --family and --out are required\n";
+    return 1;
+  }
+  const auto family = family_from_name(family_text);
+  if (!family.has_value()) {
+    std::cerr << "manywalks graph gen: unknown family '" << family_text
+              << "'; known families:";
+    for (GraphFamily f : all_families()) std::cerr << ' ' << family_name(f);
+    std::cerr << '\n';
+    return 1;
+  }
+  try {
+    const FamilyInstance instance = make_family_instance(*family, n, seed);
+    write_mwg(out, instance.graph);
+    std::cout << "wrote " << out << ": " << instance.name << " — n "
+              << format_count(instance.graph.num_vertices()) << ", edges "
+              << format_count(instance.graph.num_edges()) << ", arcs "
+              << format_count(instance.graph.num_arcs()) << ", "
+              << format_count(mwg_file_bytes(instance.graph.num_vertices(),
+                                             instance.graph.num_arcs()))
+              << " bytes (canonical start vertex " << instance.start << ")\n";
+  } catch (const std::exception& error) {
+    std::cerr << "manywalks graph gen: " << error.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+int run_convert(int argc, char** argv) {
+  std::string in;
+  std::string out;
+  bool keep_duplicates = false;
+  bool keep_self_loops = false;
+  bool largest_component = false;
+  std::vector<char*> args = take_positional(argc, argv, &in);
+  ArgParser parser("manywalks graph convert",
+                   "ingest an external edge list into an mwg file");
+  parser.add_option("in", &in, "input edge list (headerless '<u> <v>' "
+                               "rows, #/% comments, arbitrary ids)")
+      .add_option("out", &out, "output .mwg path")
+      .add_flag("keep-duplicates", &keep_duplicates,
+                "keep duplicate edges as parallel edges (default: collapse)")
+      .add_flag("keep-self-loops", &keep_self_loops,
+                "keep self loops (default: drop)")
+      .add_flag("largest-component", &largest_component,
+                "keep only the largest connected component");
+  if (!parser.parse(static_cast<int>(args.size()), args.data())) return 1;
+  if (in.empty() || out.empty()) {
+    std::cerr << "manywalks graph convert: --in and --out are required\n";
+    return 1;
+  }
+  EdgeListIngestOptions options;
+  options.dedup = !keep_duplicates;
+  options.drop_self_loops = !keep_self_loops;
+  options.largest_component = largest_component;
+  try {
+    const EdgeListIngestResult result = ingest_edge_list_file(in, options);
+    write_mwg(out, result.graph);
+    const EdgeListIngestStats& stats = result.stats;
+    std::cout << "read " << in << ": " << format_count(stats.lines)
+              << " lines, " << format_count(stats.edges_parsed) << " edges ("
+              << format_count(stats.comment_lines) << " comments/blank, "
+              << format_count(stats.self_loops_dropped)
+              << " self loops dropped, "
+              << format_count(stats.duplicates_dropped)
+              << " duplicates collapsed)\n"
+              << "relabeled " << format_count(stats.distinct_ids)
+              << " distinct ids -> dense 0.." << format_count(stats.distinct_ids - 1)
+              << "; " << format_count(stats.num_components) << " component(s)";
+    if (stats.vertices_outside_largest > 0) {
+      std::cout << ", " << format_count(stats.vertices_outside_largest)
+                << " vertices outside the largest"
+                << (largest_component ? " (dropped)" : " (kept)");
+    }
+    std::cout << "\nwrote " << out << ": n "
+              << format_count(result.graph.num_vertices()) << ", edges "
+              << format_count(result.graph.num_edges()) << ", deg ∈ ["
+              << result.graph.min_degree() << ","
+              << result.graph.max_degree() << "], "
+              << format_count(mwg_file_bytes(result.graph.num_vertices(),
+                                             result.graph.num_arcs()))
+              << " bytes\n";
+    if (result.graph.min_degree() == 0) {
+      std::cout << "note: the graph has isolated vertices; the walk engine "
+                   "needs min degree >= 1 (re-run with --largest-component "
+                   "or clean the input)\n";
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "manywalks graph convert: " << error.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+int run_info(int argc, char** argv) {
+  std::string in;
+  bool deep = false;
+  std::vector<char*> args = take_positional(argc, argv, &in);
+  ArgParser parser("manywalks graph info",
+                   "print header and degree statistics of an mwg file");
+  parser.add_option("in", &in, "input .mwg path (also accepted positionally)")
+      .add_flag("deep", &deep,
+                "additionally validate the full adjacency (pages in the "
+                "whole file)");
+  if (!parser.parse(static_cast<int>(args.size()), args.data())) return 1;
+  if (in.empty()) {
+    std::cerr << "manywalks graph info: missing input file\n";
+    return 1;
+  }
+  try {
+    // Shallow loading validates the header and scans only the offsets
+    // array; the adjacency region stays untouched on disk.
+    const MappedGraph mapped(in, deep ? MappedGraph::Validate::kDeep
+                                      : MappedGraph::Validate::kStructure);
+    const double mean_degree =
+        mapped.num_vertices() > 0
+            ? static_cast<double>(mapped.num_arcs()) /
+                  static_cast<double>(mapped.num_vertices())
+            : 0.0;
+    std::cout << "file:        " << in << " (" << format_count(mapped.file_bytes())
+              << " bytes; mwg v" << kMwgVersion << ", native byte order)\n"
+              << "vertices:    " << format_count(mapped.num_vertices()) << '\n'
+              << "edges:       " << format_count(mapped.num_edges()) << " ("
+              << format_count(mapped.num_arcs()) << " arcs, "
+              << format_count(mapped.num_loops()) << " self loops)\n"
+              << "degree:      min " << mapped.min_degree() << ", max "
+              << mapped.max_degree() << ", mean " << format_double(mean_degree, 4)
+              << (mapped.is_regular() ? " (regular)" : "") << '\n'
+              << "layout:      "
+              << format_count(mwg_targets_begin(mapped.num_vertices()) -
+                              kMwgHeaderBytes)
+              << " offset bytes + "
+              << format_count(mapped.num_arcs() * sizeof(Vertex))
+              << " adjacency bytes, memory-mapped\n"
+              << "walkable:    " << (mapped.min_degree() >= 1 ? "yes" : "NO "
+                 "(isolated vertices; the walk engine will refuse to bind)")
+              << '\n'
+              << "validation:  " << (deep ? "deep (full adjacency checked)"
+                                          : "structure (header + offsets)")
+              << '\n';
+  } catch (const std::exception& error) {
+    std::cerr << "manywalks graph info: " << error.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int graph_tool_main(int argc, char** argv) {
+  if (argc < 2) {
+    print_graph_usage(std::cerr);
+    return 1;
+  }
+  const std::string_view command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    print_graph_usage(std::cout);
+    return 0;
+  }
+  if (command == "gen") return run_gen(argc - 1, argv + 1);
+  if (command == "convert") return run_convert(argc - 1, argv + 1);
+  if (command == "info") return run_info(argc - 1, argv + 1);
+  std::cerr << "manywalks graph: unknown subcommand '" << command << "'\n\n";
+  print_graph_usage(std::cerr);
+  return 1;
+}
+
+}  // namespace manywalks::cli

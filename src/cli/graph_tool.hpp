@@ -1,0 +1,20 @@
+// The `manywalks graph` subcommand group: on-disk graph tooling over the
+// mwg v1 store (storage/).
+//
+//   manywalks graph gen --family=NAME --n=N [--seed=S] --out=FILE.mwg
+//       synthesize a registered family and store it
+//   manywalks graph convert --in=EDGES.txt --out=FILE.mwg [cleanup flags]
+//       ingest a headerless external (SNAP-style) edge list
+//   manywalks graph info FILE.mwg [--deep]
+//       header/degree statistics from the mapped file (the adjacency is
+//       never read unless --deep validation asks for it)
+#pragma once
+
+namespace manywalks::cli {
+
+/// argv[0] is ignored (the dispatcher passes "graph" there) and argv[1]
+/// is the subcommand (gen/convert/info). Exit codes: 0 success, 1 usage
+/// or runtime error.
+int graph_tool_main(int argc, char** argv);
+
+}  // namespace manywalks::cli

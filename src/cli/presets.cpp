@@ -14,7 +14,7 @@ namespace {
 // The giant-* experiments run on implicit substrates: their n is the
 // 10^7–10^8 range no CSR graph reaches, and `target` is the distinct-vertex
 // partial-cover goal (full cover is Θ(n²) on the cycle — infeasible there).
-constexpr std::array<ExperimentPreset, 15> kPresets{{
+constexpr std::array<ExperimentPreset, 17> kPresets{{
     {"table1_summary", 256, 4096, 120, 400},
     {"fig_cycle_speedup", 257, 1025, 150, 400, /*kmax=*/256, 4096},
     {"fig_expander_speedup", 256, 1024, 120, 300},
@@ -32,6 +32,10 @@ constexpr std::array<ExperimentPreset, 15> kPresets{{
      /*kmax=*/64, 256, 0, 0.0, /*target=*/4000, 20'000},
     {"giant-torus-speedup", 10'000'000, 100'000'000, 8, 16,
      /*kmax=*/64, 256, 0, 0.0, /*target=*/1'000'000, 4'000'000},
+    // Stored-graph (--graph=FILE.mwg) experiments: n comes from the file,
+    // so the size presets stay 0 and only trial/k budgets differ.
+    {"mwg-speedup", 0, 0, 24, 100, /*kmax=*/16, 64},
+    {"mwg-starts", 0, 0, 24, 100, 0, 0, /*k=*/8},
 }};
 
 }  // namespace

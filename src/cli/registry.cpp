@@ -36,6 +36,7 @@ void register_all_experiments(ExperimentRegistry& registry) {
   register_bounds_experiments(registry);
   register_start_experiments(registry);
   register_giant_experiments(registry);
+  register_mwg_experiments(registry);
 }
 
 const ExperimentRegistry& default_registry() {

@@ -37,11 +37,14 @@ struct ExperimentParams {
   std::uint64_t kmax = 0; ///< largest k in a sweep (fig_cycle_speedup)
   double ck = 0.0;        ///< k = ck·ln n coefficient (fig_barbell_speedup)
   std::uint64_t target = 0;  ///< distinct-vertex coverage target (giant-*)
+  std::uint64_t start = 0;   ///< start vertex on stored graphs (mwg-*)
+  std::string graph;         ///< .mwg file to run on (mwg-*)
 };
 
 /// Non-shared parameters an experiment additionally accepts; the driver
-/// only exposes the matching --k/--kmax/--ck/--target flags when declared.
-enum class ExtraParam { kK, kKmax, kCk, kTarget };
+/// only exposes the matching --k/--kmax/--ck/--target/--start/--graph
+/// flags when declared.
+enum class ExtraParam { kK, kKmax, kCk, kTarget, kStart, kGraph };
 
 struct ExperimentInfo {
   std::string name;     ///< CLI name, e.g. "fig_cycle_speedup"
@@ -100,6 +103,7 @@ void register_bounds_experiments(ExperimentRegistry& registry);
 void register_start_experiments(ExperimentRegistry& registry);
 void register_table1_experiment(ExperimentRegistry& registry);
 void register_giant_experiments(ExperimentRegistry& registry);
+void register_mwg_experiments(ExperimentRegistry& registry);
 
 /// The process-wide registry with all built-ins registered (built lazily,
 /// thread-safe via static-local initialization).

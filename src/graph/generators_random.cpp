@@ -73,13 +73,20 @@ Graph make_erdos_renyi(Vertex n, double p, Rng& rng) {
 Graph make_erdos_renyi_connected(Vertex n, double p, Rng& rng,
                                  unsigned max_attempts) {
   MW_REQUIRE(max_attempts >= 1, "need at least one attempt");
+  Graph last;
   for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
-    Graph g = make_erdos_renyi(n, p, rng);
-    if (is_connected(g)) return g;
+    last = make_erdos_renyi(n, p, rng);
+    if (is_connected(last)) return last;
   }
+  // Diagnose from the last draw: how fragmented it actually was tells the
+  // caller whether p is hopeless or merely unlucky.
+  const ComponentDecomposition components = connected_components(last);
   MW_REQUIRE(false, "G(" << n << "," << p << ") not connected after "
-                         << max_attempts
-                         << " attempts; raise p above ln(n)/n");
+                         << max_attempts << " attempts (last draw: "
+                         << components.num_components
+                         << " components, largest "
+                         << components.sizes[components.largest] << " of " << n
+                         << " vertices); raise p above ln(n)/n");
   return Graph{};  // unreachable
 }
 

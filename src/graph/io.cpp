@@ -2,10 +2,10 @@
 
 #include <istream>
 #include <ostream>
-#include <sstream>
 #include <string>
 
 #include "util/check.hpp"
+#include "util/parse.hpp"
 
 namespace manywalks {
 
@@ -26,29 +26,35 @@ Graph read_edge_list(std::istream& is) {
   MW_REQUIRE(std::getline(is, line), "missing vertex count");
   std::uint64_t n = 0;
   {
-    std::istringstream ls(line);
-    MW_REQUIRE(static_cast<bool>(ls >> n), "bad vertex count '" << line << "'");
-    std::string trailing;
-    MW_REQUIRE(!(ls >> trailing), "trailing garbage '"
-                                      << trailing
-                                      << "' after vertex count on line 2: '"
-                                      << line << "'");
+    const char* p = line.data();
+    const char* const end = p + line.size();
+    p = skip_field_space(p, end);
+    MW_REQUIRE(parse_u64_field(p, end, n), "bad vertex count '" << line << "'");
+    p = skip_field_space(p, end);
+    MW_REQUIRE(p == end, "trailing garbage '"
+                             << first_field_token(p, end)
+                             << "' after vertex count on line 2: '" << line
+                             << "'");
     MW_REQUIRE(n < kInvalidVertex, "vertex count too large");
   }
   GraphBuilder b(static_cast<Vertex>(n));
   std::uint64_t line_no = 2;
   while (std::getline(is, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
+    const char* p = line.data();
+    const char* const end = p + line.size();
+    p = skip_field_space(p, end);
+    if (p == end || *p == '#') continue;
     std::uint64_t u = 0;
     std::uint64_t v = 0;
-    MW_REQUIRE(static_cast<bool>(ls >> u >> v),
-               "bad edge on line " << line_no << ": '" << line << "'");
-    std::string trailing;
-    MW_REQUIRE(!(ls >> trailing), "trailing garbage '"
-                                      << trailing << "' on line " << line_no
-                                      << ": '" << line << "'");
+    const bool edge_ok = parse_u64_field(p, end, u) &&
+                         (p = skip_field_space(p, end), true) &&
+                         parse_u64_field(p, end, v);
+    MW_REQUIRE(edge_ok, "bad edge on line " << line_no << ": '" << line << "'");
+    p = skip_field_space(p, end);
+    MW_REQUIRE(p == end, "trailing garbage '"
+                             << first_field_token(p, end) << "' on line "
+                             << line_no << ": '" << line << "'");
     MW_REQUIRE(u < n && v < n, "edge endpoint out of range on line " << line_no);
     b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
   }

@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <concepts>
 #include <cstdint>
+#include <span>
 #include <type_traits>
 
 #include "graph/graph.hpp"
@@ -94,15 +95,26 @@ concept ArcAddressableSubstrate =
 class CsrSubstrate {
  public:
   explicit CsrSubstrate(const Graph& g)
-      : row_(g.offsets().data()),
-        adj_(g.targets().data()),
-        num_vertices_(g.num_vertices()),
-        regular_stride_(g.min_degree() == g.max_degree() ? g.min_degree()
-                                                         : 0) {
+      : CsrSubstrate(g.offsets().data(), g.targets().data(), g.num_vertices(),
+                     g.num_vertices() > 0 ? g.min_degree() : 0,
+                     g.num_vertices() > 0 ? g.max_degree() : 0) {}
+
+  /// Binds raw CSR arrays directly — the zero-copy path a memory-mapped
+  /// graph (storage/mapped_graph.hpp) uses. `row` must hold
+  /// num_vertices+1 offsets and `adj` the full arc array; both must
+  /// outlive the substrate, exactly like the Graph overload's arrays. The
+  /// degree extremes come from the caller (the mwg header caches them) so
+  /// binding stays O(1).
+  CsrSubstrate(const std::uint64_t* row, const Vertex* adj,
+               Vertex num_vertices, Vertex min_degree, Vertex max_degree)
+      : row_(row),
+        adj_(adj),
+        num_vertices_(num_vertices),
+        regular_stride_(min_degree == max_degree ? min_degree : 0) {
     // Uphold the substrate invariant (walkable by construction): a
     // degree-0 vertex would make neighbor() read past its empty row.
     MW_REQUIRE(num_vertices_ >= 1, "CSR substrate needs at least one vertex");
-    MW_REQUIRE(g.min_degree() >= 1,
+    MW_REQUIRE(min_degree >= 1,
                "CSR substrate needs min degree >= 1 (isolated vertex)");
   }
 
@@ -128,6 +140,14 @@ class CsrSubstrate {
   /// Degree of a regular graph (every row the same length, so
   /// arc_index(v, i) == stride*v + i with no row load), 0 otherwise.
   Vertex regular_stride() const noexcept { return regular_stride_; }
+
+  /// The live offsets array (n+1 entries) — what stationary-start
+  /// sampling binary-searches. Exposed because a CsrSubstrate can be the
+  /// ONLY handle on a graph: a memory-mapped file never materializes a
+  /// Graph (storage/mapped_graph.hpp).
+  std::span<const std::uint64_t> offsets() const noexcept {
+    return {row_, static_cast<std::size_t>(num_vertices_) + 1};
+  }
 
   /// True iff this substrate reads exactly g's live CSR arrays. A pure
   /// comparison (never throws), unlike constructing a CsrSubstrate from g

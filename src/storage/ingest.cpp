@@ -1,0 +1,121 @@
+#include "storage/ingest.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <utility>
+
+#include "graph/properties.hpp"
+#include "util/check.hpp"
+#include "util/parse.hpp"
+
+namespace manywalks {
+
+namespace {
+
+/// Dense id for external id `id` via binary search in the sorted unique
+/// id table (relabeling by ascending original id).
+Vertex dense_id(const std::vector<std::uint64_t>& ids, std::uint64_t id) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  return static_cast<Vertex>(it - ids.begin());
+}
+
+}  // namespace
+
+EdgeListIngestResult ingest_edge_list(std::istream& is,
+                                      const EdgeListIngestOptions& options) {
+  EdgeListIngestResult out;
+  EdgeListIngestStats& stats = out.stats;
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
+  std::string line;
+  while (std::getline(is, line)) {
+    ++stats.lines;
+    const char* p = line.data();
+    const char* const end = p + line.size();
+    p = skip_field_space(p, end);
+    if (p == end || *p == '#' || *p == '%') {
+      ++stats.comment_lines;
+      continue;
+    }
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    MW_REQUIRE(parse_u64_field(p, end, u),
+               "bad edge on line " << stats.lines << ": '" << line << "'");
+    p = skip_field_space(p, end);
+    MW_REQUIRE(parse_u64_field(p, end, v),
+               "bad edge on line " << stats.lines << ": '" << line << "'");
+    p = skip_field_space(p, end);
+    MW_REQUIRE(p == end, "trailing garbage '"
+                             << first_field_token(p, end) << "' on line "
+                             << stats.lines << ": '" << line << "'");
+    ++stats.edges_parsed;
+    if (u == v && options.drop_self_loops) {
+      ++stats.self_loops_dropped;
+      continue;
+    }
+    // Normalize to (min,max): an undirected edge listed in either (or
+    // both) directions becomes the same pair, which is what dedup keys on.
+    edges.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  MW_REQUIRE(!edges.empty(), "edge list has no usable edges ("
+                                 << stats.lines << " lines, "
+                                 << stats.self_loops_dropped
+                                 << " self loops dropped)");
+
+  std::sort(edges.begin(), edges.end());
+  if (options.dedup) {
+    const auto last = std::unique(edges.begin(), edges.end());
+    stats.duplicates_dropped =
+        static_cast<std::uint64_t>(edges.end() - last);
+    edges.erase(last, edges.end());
+  }
+
+  // Relabel by ascending external id — deterministic for a given edge
+  // multiset, independent of the file's row order.
+  std::vector<std::uint64_t>& ids = out.original_ids;
+  ids.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    ids.push_back(u);
+    ids.push_back(v);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  stats.distinct_ids = ids.size();
+  MW_REQUIRE(ids.size() < kInvalidVertex,
+             "edge list has " << ids.size()
+                              << " distinct ids; the 32-bit vertex limit is "
+                              << kInvalidVertex - 1);
+
+  GraphBuilder builder(static_cast<Vertex>(ids.size()));
+  for (const auto& [u, v] : edges) {
+    builder.add_edge(dense_id(ids, u), dense_id(ids, v));
+  }
+  GraphBuilder::BuildOptions build;
+  build.duplicates = GraphBuilder::DuplicatePolicy::kKeep;  // already deduped
+  build.loops = GraphBuilder::LoopPolicy::kKeep;
+  out.graph = builder.build(build);
+
+  const ComponentDecomposition components = connected_components(out.graph);
+  stats.num_components = components.num_components;
+  stats.vertices_outside_largest =
+      out.graph.num_vertices() - components.sizes[components.largest];
+  if (options.largest_component && components.num_components > 1) {
+    InducedSubgraph induced = extract_largest_component(out.graph);
+    std::vector<std::uint64_t> kept_ids;
+    kept_ids.reserve(induced.new_to_old.size());
+    for (Vertex old_id : induced.new_to_old) kept_ids.push_back(ids[old_id]);
+    out.graph = std::move(induced.graph);
+    out.original_ids = std::move(kept_ids);
+  }
+  return out;
+}
+
+EdgeListIngestResult ingest_edge_list_file(
+    const std::string& path, const EdgeListIngestOptions& options) {
+  std::ifstream in(path);
+  MW_REQUIRE(in.good(), "cannot open edge list '" << path << "'");
+  return ingest_edge_list(in, options);
+}
+
+}  // namespace manywalks

@@ -1,0 +1,68 @@
+// Ingestion of headerless external edge lists (SNAP-style) into a Graph.
+//
+// Real-world graph dumps are whitespace-separated "<u> <v>" pairs with
+// `#`/`%` comment lines, arbitrary (sparse, 64-bit) vertex ids, and the
+// usual dirt: both edge directions listed, duplicate rows, self loops,
+// and disconnected fragments. ingest_edge_list parses that shape with the
+// from_chars scanner, relabels ids to dense 0..n-1 (by ascending original
+// id — deterministic regardless of edge order), and applies the cleanup
+// the walk engine's substrate contract needs (dedup, loop drop,
+// largest-connected-component extraction), reporting what it did.
+//
+// This is the `manywalks graph convert` backend; the repo's own
+// `# manywalks-graph` format keeps its stricter reader in graph/io.hpp.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace manywalks {
+
+struct EdgeListIngestOptions {
+  /// Collapse duplicate undirected edges (u,v)==(v,u). SNAP files list
+  /// both directions of each edge; without dedup those become parallel
+  /// edges (doubling every degree), so collapsing is the default.
+  bool dedup = true;
+  /// Drop self loops (u,u). Kept loops follow the library convention: one
+  /// arc, degree +1.
+  bool drop_self_loops = true;
+  /// Keep only the largest connected component (relabeled again to dense
+  /// ids). Off by default so `convert` is lossless unless asked.
+  bool largest_component = false;
+};
+
+struct EdgeListIngestStats {
+  std::uint64_t lines = 0;             ///< total lines read
+  std::uint64_t comment_lines = 0;     ///< `#`/`%` and blank lines
+  std::uint64_t edges_parsed = 0;      ///< well-formed "<u> <v>" rows
+  std::uint64_t self_loops_dropped = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t distinct_ids = 0;      ///< external ids seen on kept edges
+  Vertex num_components = 0;           ///< of the relabeled graph
+  /// Vertices outside the largest component (dropped when
+  /// largest_component is set, merely reported otherwise).
+  std::uint64_t vertices_outside_largest = 0;
+};
+
+struct EdgeListIngestResult {
+  Graph graph;
+  /// new (dense) vertex id -> original external id.
+  std::vector<std::uint64_t> original_ids;
+  EdgeListIngestStats stats;
+};
+
+/// Parses a headerless edge list from `is`. Throws std::invalid_argument
+/// (with the 1-based line number) on malformed rows, and if no edges
+/// survive the cleanup.
+EdgeListIngestResult ingest_edge_list(std::istream& is,
+                                      const EdgeListIngestOptions& options = {});
+
+/// Convenience: ingest_edge_list over a file path.
+EdgeListIngestResult ingest_edge_list_file(
+    const std::string& path, const EdgeListIngestOptions& options = {});
+
+}  // namespace manywalks

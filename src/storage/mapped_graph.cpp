@@ -1,0 +1,182 @@
+#include "storage/mapped_graph.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace manywalks {
+
+namespace {
+
+constexpr std::uint32_t byte_swap32(std::uint32_t x) noexcept {
+  return ((x & 0x000000ffu) << 24) | ((x & 0x0000ff00u) << 8) |
+         ((x & 0x00ff0000u) >> 8) | ((x & 0xff000000u) >> 24);
+}
+
+}  // namespace
+
+MappedGraph::MappedGraph(const std::string& path, Validate validate)
+    : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  MW_REQUIRE(fd >= 0,
+             "cannot open '" << path << "': " << std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    MW_REQUIRE(false, "cannot stat '" << path << "': " << std::strerror(err));
+  }
+  const auto file_bytes = static_cast<std::uint64_t>(st.st_size);
+  if (file_bytes < kMwgHeaderBytes) {
+    ::close(fd);
+    MW_REQUIRE(false, "'" << path << "' is not an mwg file: " << file_bytes
+                          << " bytes is smaller than the " << kMwgHeaderBytes
+                          << "-byte header");
+  }
+  void* base = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int map_err = errno;
+  ::close(fd);  // the mapping keeps its own reference to the file
+  MW_REQUIRE(base != MAP_FAILED,
+             "mmap of '" << path << "' failed: " << std::strerror(map_err));
+  base_ = base;
+  mapped_bytes_ = file_bytes;
+
+  std::memcpy(&header_, base_, sizeof(MwgHeader));
+  // Validate before touching anything the header points at; the destructor
+  // unmaps on throw (MappedGraph is fully constructed member-wise by now,
+  // but MW_REQUIRE throws from the constructor body — unmap explicitly).
+  try {
+    MW_REQUIRE(std::memcmp(header_.magic, kMwgMagic, sizeof(kMwgMagic)) == 0,
+               "'" << path << "' is not an mwg file (bad magic)");
+    MW_REQUIRE(header_.endian != byte_swap32(kMwgEndianTag),
+               "'" << path << "' was written on a machine with the opposite "
+                   "byte order; regenerate it natively");
+    MW_REQUIRE(header_.endian == kMwgEndianTag,
+               "'" << path << "' has an unrecognized endianness tag");
+    MW_REQUIRE(header_.version == kMwgVersion,
+               "'" << path << "' is mwg version " << header_.version
+                   << "; this build reads version " << kMwgVersion);
+    MW_REQUIRE(header_.num_vertices < kInvalidVertex,
+               "'" << path << "' vertex count " << header_.num_vertices
+                   << " exceeds the 32-bit vertex limit");
+    // Size consistency, derived FROM the file size rather than by
+    // multiplying header fields (num_arcs * 4 from a hostile header could
+    // wrap modulo 2^64 and "match" a file with no adjacency at all).
+    // n < 2^32 keeps mwg_targets_begin itself overflow-free.
+    MW_REQUIRE(file_bytes >= mwg_targets_begin(header_.num_vertices),
+               "'" << path << "' is truncated: " << file_bytes
+                   << " bytes cannot hold the header and "
+                   << header_.num_vertices + 1 << " row offsets");
+    const std::uint64_t adjacency_bytes =
+        file_bytes - mwg_targets_begin(header_.num_vertices);
+    MW_REQUIRE(adjacency_bytes % sizeof(Vertex) == 0 &&
+                   adjacency_bytes / sizeof(Vertex) == header_.num_arcs,
+               "'" << path << "' is truncated or padded: header claims "
+                   << header_.num_arcs << " arcs, file has "
+                   << adjacency_bytes << " adjacency bytes");
+
+    const auto* bytes = static_cast<const char*>(base_);
+    offsets_ = reinterpret_cast<const std::uint64_t*>(bytes +
+                                                      mwg_offsets_begin());
+    targets_ = reinterpret_cast<const Vertex*>(
+        bytes + mwg_targets_begin(header_.num_vertices));
+
+    // Structure scan: offsets only — never faults the targets region.
+    const std::uint64_t n = header_.num_vertices;
+    MW_REQUIRE(offsets_[0] == 0, "'" << path << "': offsets must start at 0");
+    MW_REQUIRE(offsets_[n] == header_.num_arcs,
+               "'" << path << "': offsets end at " << offsets_[n]
+                   << ", header claims " << header_.num_arcs << " arcs");
+    Vertex min_deg = n > 0 ? kInvalidVertex : 0;
+    Vertex max_deg = 0;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      MW_REQUIRE(offsets_[v] <= offsets_[v + 1],
+                 "'" << path << "': offsets not monotone at vertex " << v);
+      const std::uint64_t degree = offsets_[v + 1] - offsets_[v];
+      MW_REQUIRE(degree < kInvalidVertex,
+                 "'" << path << "': degree of vertex " << v << " overflows");
+      min_deg = std::min(min_deg, static_cast<Vertex>(degree));
+      max_deg = std::max(max_deg, static_cast<Vertex>(degree));
+    }
+    MW_REQUIRE(min_deg == header_.min_degree && max_deg == header_.max_degree,
+               "'" << path << "': header degree range [" << header_.min_degree
+                   << "," << header_.max_degree
+                   << "] does not match the offsets array [" << min_deg << ","
+                   << max_deg << "]");
+
+    if (validate == Validate::kDeep) {
+      std::uint64_t loops = 0;
+      for (std::uint64_t v = 0; v < n; ++v) {
+        for (std::uint64_t a = offsets_[v]; a < offsets_[v + 1]; ++a) {
+          const Vertex u = targets_[a];
+          MW_REQUIRE(u < n, "'" << path << "': target " << u
+                                << " out of range in row " << v);
+          MW_REQUIRE(a == offsets_[v] || targets_[a - 1] <= u,
+                     "'" << path << "': row " << v << " not sorted");
+          if (u == v) ++loops;
+        }
+      }
+      MW_REQUIRE(loops == header_.num_loops,
+                 "'" << path << "': header claims " << header_.num_loops
+                     << " loops, adjacency has " << loops);
+    }
+  } catch (...) {
+    unmap();
+    throw;
+  }
+
+  // The walk hot path touches arcs in random order; tell the kernel not to
+  // waste read-ahead on sequential speculation.
+  ::posix_madvise(base_, mapped_bytes_, POSIX_MADV_RANDOM);
+}
+
+MappedGraph::~MappedGraph() { unmap(); }
+
+MappedGraph::MappedGraph(MappedGraph&& other) noexcept
+    : path_(std::move(other.path_)),
+      base_(std::exchange(other.base_, nullptr)),
+      mapped_bytes_(std::exchange(other.mapped_bytes_, 0)),
+      header_(other.header_),
+      offsets_(std::exchange(other.offsets_, nullptr)),
+      targets_(std::exchange(other.targets_, nullptr)) {}
+
+MappedGraph& MappedGraph::operator=(MappedGraph&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    path_ = std::move(other.path_);
+    base_ = std::exchange(other.base_, nullptr);
+    mapped_bytes_ = std::exchange(other.mapped_bytes_, 0);
+    header_ = other.header_;
+    offsets_ = std::exchange(other.offsets_, nullptr);
+    targets_ = std::exchange(other.targets_, nullptr);
+  }
+  return *this;
+}
+
+void MappedGraph::unmap() noexcept {
+  if (base_ != nullptr) {
+    ::munmap(base_, mapped_bytes_);
+    base_ = nullptr;
+    mapped_bytes_ = 0;
+    offsets_ = nullptr;
+    targets_ = nullptr;
+  }
+}
+
+Graph to_graph(const MappedGraph& mapped, bool validate) {
+  const auto offsets = mapped.offsets();
+  const auto targets = mapped.targets();
+  return Graph::from_csr(
+      std::vector<std::uint64_t>(offsets.begin(), offsets.end()),
+      std::vector<Vertex>(targets.begin(), targets.end()), validate);
+}
+
+}  // namespace manywalks

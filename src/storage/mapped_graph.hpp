@@ -1,0 +1,111 @@
+// Memory-mapped, zero-copy loader for mwg v1 files (storage/mwg.hpp).
+//
+// MappedGraph maps the whole file read-only and exposes the CSR arrays as
+// spans pointing INTO the mapping — nothing is copied to the heap, and the
+// kernel pages adjacency in on demand, so `manywalks graph info` on a
+// 10^6-vertex file never faults the targets region at all.
+//
+// Lifetime/alignment rules (docs/ARCHITECTURE.md "Storage"):
+//   * the mapping lives exactly as long as the MappedGraph (move-only
+//     RAII); every span, pointer, and substrate() handed out dangles once
+//     it is destroyed — the same outlives-the-engine contract as a Graph
+//     behind CsrSubstrate;
+//   * the 64-byte header keeps the offsets array 8-byte aligned and the
+//     targets array 4-byte aligned in any mapping (mmap bases are
+//     page-aligned), so the spans are directly dereferenceable;
+//   * files are native-endian; a foreign-endian file is rejected at load
+//     via the header tag, never silently misread.
+//
+// Validation: loading always checks the header (magic, endianness tag,
+// version, exact file size) and scans the offsets array (monotone, starts
+// at 0, ends at num_arcs, degree extremes match the header) — O(n) over
+// pages the stats queries touch anyway. Validate::kDeep additionally
+// checks every target is in range and every row is sorted — O(m), pages
+// in the whole adjacency, and is meant for foreign files (`manywalks
+// graph info --deep`), not the hot load path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/substrate.hpp"
+#include "storage/mwg.hpp"
+
+namespace manywalks {
+
+class MappedGraph {
+ public:
+  enum class Validate {
+    kStructure,  ///< header + offsets scan (default; never touches targets)
+    kDeep,       ///< + targets in range, rows sorted (pages in everything)
+  };
+
+  /// Maps `path` read-only and validates. Throws std::invalid_argument on
+  /// any open/map/format failure.
+  explicit MappedGraph(const std::string& path,
+                       Validate validate = Validate::kStructure);
+  ~MappedGraph();
+
+  MappedGraph(MappedGraph&& other) noexcept;
+  MappedGraph& operator=(MappedGraph&& other) noexcept;
+  MappedGraph(const MappedGraph&) = delete;
+  MappedGraph& operator=(const MappedGraph&) = delete;
+
+  Vertex num_vertices() const noexcept {
+    return static_cast<Vertex>(header_.num_vertices);
+  }
+  std::uint64_t num_arcs() const noexcept { return header_.num_arcs; }
+  std::uint64_t num_loops() const noexcept { return header_.num_loops; }
+  /// Undirected edges: each self loop one edge, parallel edges separate.
+  std::uint64_t num_edges() const noexcept {
+    return (header_.num_arcs - header_.num_loops) / 2 + header_.num_loops;
+  }
+  Vertex min_degree() const noexcept { return header_.min_degree; }
+  Vertex max_degree() const noexcept { return header_.max_degree; }
+  bool is_regular() const noexcept {
+    return header_.min_degree == header_.max_degree;
+  }
+  Vertex degree(Vertex v) const noexcept {
+    return static_cast<Vertex>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// The mapped CSR arrays — views into the file mapping, valid only
+  /// while this MappedGraph is alive.
+  std::span<const std::uint64_t> offsets() const noexcept {
+    return {offsets_, static_cast<std::size_t>(header_.num_vertices) + 1};
+  }
+  std::span<const Vertex> targets() const noexcept {
+    return {targets_, static_cast<std::size_t>(header_.num_arcs)};
+  }
+
+  /// Binds the mapped arrays to the walk engine's CSR substrate — the
+  /// exact type an in-core Graph binds through, so WalkEngineT runs
+  /// zero-copy off the file with bit-identical streams in both rng modes.
+  /// Requires min_degree >= 1 (walkable), like every substrate.
+  CsrSubstrate substrate() const {
+    return CsrSubstrate(offsets_, targets_, num_vertices(), min_degree(),
+                        max_degree());
+  }
+
+  const std::string& path() const noexcept { return path_; }
+  std::uint64_t file_bytes() const noexcept { return mapped_bytes_; }
+
+ private:
+  void unmap() noexcept;
+
+  std::string path_;
+  void* base_ = nullptr;
+  std::uint64_t mapped_bytes_ = 0;
+  MwgHeader header_{};
+  const std::uint64_t* offsets_ = nullptr;
+  const Vertex* targets_ = nullptr;
+};
+
+/// Materializes a mapped graph as an in-core Graph (copies the arrays;
+/// validation as in Graph::from_csr). For callers that need Graph-only
+/// algorithms (BFS starts, spectra) on a stored graph.
+Graph to_graph(const MappedGraph& mapped, bool validate = true);
+
+}  // namespace manywalks

@@ -1,0 +1,86 @@
+#include "storage/mwg.hpp"
+
+#include <cstring>
+#include <limits>
+
+namespace manywalks {
+
+namespace {
+
+template <class T>
+void write_raw(std::ofstream& out, const T* data, std::size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+}  // namespace
+
+MwgWriter::MwgWriter(std::string path, Vertex num_vertices)
+    : path_(std::move(path)),
+      out_(path_, std::ios::binary | std::ios::trunc),
+      n_(num_vertices) {
+  MW_REQUIRE(num_vertices != kInvalidVertex, "mwg vertex count too large");
+  MW_REQUIRE(out_.good(), "cannot open '" << path_ << "' for writing");
+  offsets_.reserve(static_cast<std::size_t>(n_) + 1);
+  offsets_.push_back(0);
+  // Targets stream to their final position; the header and offsets are
+  // written by finish(), so an abandoned file keeps a zeroed header that
+  // every loader rejects.
+  out_.seekp(static_cast<std::streamoff>(mwg_targets_begin(n_)));
+  MW_REQUIRE(out_.good(), "seek failed on '" << path_ << "'");
+}
+
+void MwgWriter::append_row(std::span<const Vertex> sorted_neighbors) {
+  MW_REQUIRE(!finished_, "append_row after finish()");
+  MW_REQUIRE(rows_ < n_, "more rows than the declared " << n_ << " vertices");
+  const Vertex v = rows_;
+  Vertex prev = 0;
+  for (std::size_t i = 0; i < sorted_neighbors.size(); ++i) {
+    const Vertex u = sorted_neighbors[i];
+    MW_REQUIRE(u < n_, "row " << v << ": neighbor " << u
+                              << " out of range (n=" << n_ << ")");
+    MW_REQUIRE(i == 0 || prev <= u,
+               "row " << v << " not sorted ascending at position " << i);
+    prev = u;
+    if (u == v) ++loops_;
+  }
+  write_raw(out_, sorted_neighbors.data(), sorted_neighbors.size());
+  const auto degree = static_cast<Vertex>(sorted_neighbors.size());
+  min_degree_ = std::min(min_degree_, degree);
+  max_degree_ = std::max(max_degree_, degree);
+  offsets_.push_back(offsets_.back() + degree);
+  ++rows_;
+}
+
+void MwgWriter::finish() {
+  MW_REQUIRE(!finished_, "finish() called twice");
+  MW_REQUIRE(rows_ == n_,
+             "finish() after " << rows_ << " of " << n_ << " rows");
+  MwgHeader header{};
+  std::memcpy(header.magic, kMwgMagic, sizeof(kMwgMagic));
+  header.endian = kMwgEndianTag;
+  header.version = kMwgVersion;
+  header.num_vertices = n_;
+  header.num_arcs = offsets_.back();
+  header.num_loops = loops_;
+  header.min_degree = n_ > 0 ? min_degree_ : 0;
+  header.max_degree = max_degree_;
+
+  out_.seekp(0);
+  write_raw(out_, &header, 1);
+  write_raw(out_, offsets_.data(), offsets_.size());
+  out_.flush();
+  MW_REQUIRE(out_.good(), "write failed on '" << path_ << "'");
+  out_.close();
+  finished_ = true;
+}
+
+void write_mwg(const std::string& path, const Graph& g) {
+  MwgWriter writer(path, g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    writer.append_row(g.neighbors(v));
+  }
+  writer.finish();
+}
+
+}  // namespace manywalks

@@ -1,0 +1,136 @@
+// The `mwg` v1 on-disk graph format: binary CSR with a fixed 64-byte
+// header, written once and memory-mapped forever after.
+//
+// Layout (all fields in the PRODUCER's native byte order; the header's
+// endianness tag lets a consumer on a foreign-endian machine reject the
+// file instead of silently misreading it):
+//
+//   offset 0    MwgHeader            64 bytes (8-byte aligned fields)
+//   offset 64   offsets[n + 1]       (n+1) x uint64  row offsets into targets
+//   offset 64 + (n+1)*8
+//               targets[num_arcs]    num_arcs x uint32 (Vertex) adjacency
+//
+// The arrays are exactly Graph's CSR arrays (same arc conventions: a
+// non-loop edge is two arcs, a self loop one; rows sorted ascending), so a
+// mapped file binds to the walk engine through the same CsrSubstrate as an
+// in-core Graph — zero copies, bit-identical streams. The header caches
+// num_loops and min/max degree so `manywalks graph info` and substrate
+// binding never have to scan the adjacency.
+//
+// MwgWriter is STREAMING: it needs the vertex count up front, then takes
+// one adjacency row at a time and holds only the O(n) offsets array in
+// memory — a generator (or an implicit substrate) can emit a graph far
+// larger than an in-core CSR would allow. The header is written last, by
+// finish(): a crashed or abandoned write leaves a zeroed header that every
+// loader rejects, never a plausible-looking truncated graph.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/substrate.hpp"
+#include "util/check.hpp"
+
+namespace manywalks {
+
+inline constexpr char kMwgMagic[8] = {'M', 'W', 'G', 'R', 'A', 'P', 'H', '1'};
+/// Written in the producer's native order; a consumer that reads it
+/// byte-swapped knows the file crossed an endianness boundary.
+inline constexpr std::uint32_t kMwgEndianTag = 0x01020304u;
+inline constexpr std::uint32_t kMwgVersion = 1;
+inline constexpr std::size_t kMwgHeaderBytes = 64;
+
+struct MwgHeader {
+  char magic[8];               // kMwgMagic
+  std::uint32_t endian;        // kMwgEndianTag, producer byte order
+  std::uint32_t version;       // kMwgVersion
+  std::uint64_t num_vertices;  // n (fits Vertex)
+  std::uint64_t num_arcs;      // adjacency entries (2*edges - loops)
+  std::uint64_t num_loops;     // self-loop arcs
+  std::uint32_t min_degree;    // cached degree extremes (0 for n == 0)
+  std::uint32_t max_degree;
+  std::uint64_t reserved[2];   // zero in v1
+};
+static_assert(sizeof(MwgHeader) == kMwgHeaderBytes);
+static_assert(std::is_trivially_copyable_v<MwgHeader>);
+
+/// Byte offset of the offsets array (== header size).
+constexpr std::uint64_t mwg_offsets_begin() noexcept { return kMwgHeaderBytes; }
+
+/// Byte offset of the targets array for an n-vertex file.
+constexpr std::uint64_t mwg_targets_begin(std::uint64_t n) noexcept {
+  return kMwgHeaderBytes + (n + 1) * sizeof(std::uint64_t);
+}
+
+/// Total file size for an (n, num_arcs) graph.
+constexpr std::uint64_t mwg_file_bytes(std::uint64_t n,
+                                       std::uint64_t num_arcs) noexcept {
+  return mwg_targets_begin(n) + num_arcs * sizeof(Vertex);
+}
+
+/// Streams one graph into an mwg v1 file: construct with the vertex count,
+/// append every row in vertex order (sorted ascending, like Graph rows),
+/// then finish(). Holds only the offsets array (O(n)) in memory.
+class MwgWriter {
+ public:
+  MwgWriter(std::string path, Vertex num_vertices);
+
+  MwgWriter(const MwgWriter&) = delete;
+  MwgWriter& operator=(const MwgWriter&) = delete;
+
+  /// Appends the adjacency row of the next vertex (rows_appended() so
+  /// far). Neighbors must be sorted ascending — the CSR row order every
+  /// substrate binding and golden stream is defined against.
+  void append_row(std::span<const Vertex> sorted_neighbors);
+
+  /// Writes the offsets array and the header, and closes the file. Must be
+  /// called after exactly num_vertices() rows; throws if the stream failed
+  /// anywhere along the way.
+  void finish();
+
+  Vertex num_vertices() const noexcept { return n_; }
+  Vertex rows_appended() const noexcept { return rows_; }
+  std::uint64_t arcs_appended() const noexcept { return offsets_.back(); }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  Vertex n_;
+  Vertex rows_ = 0;
+  std::vector<std::uint64_t> offsets_;  // cumulative; offsets_[rows_] is next
+  std::uint64_t loops_ = 0;
+  Vertex min_degree_ = kInvalidVertex;
+  Vertex max_degree_ = 0;
+  bool finished_ = false;
+};
+
+/// Writes an in-core Graph to `path` in mwg v1 format.
+void write_mwg(const std::string& path, const Graph& g);
+
+/// Writes any substrate to `path` by enumerating its rows — the way to
+/// produce an mwg file bigger than an in-core CSR could be (e.g. a 10^7
+/// cycle straight from CycleSubstrate). Rows whose substrate enumeration
+/// is not ascending (the hypercube's bit order) are sorted per row, so the
+/// file always matches the canonical CSR of the same graph.
+template <Substrate S>
+void write_mwg(const std::string& path, const S& substrate) {
+  const Vertex n = substrate.num_vertices();
+  MwgWriter writer(path, n);
+  std::vector<Vertex> row;
+  for (Vertex v = 0; v < n; ++v) {
+    const Vertex degree = substrate.degree(v);
+    row.resize(degree);
+    for (Vertex i = 0; i < degree; ++i) row[i] = substrate.neighbor(v, i);
+    std::sort(row.begin(), row.end());
+    writer.append_row(row);
+  }
+  writer.finish();
+}
+
+}  // namespace manywalks

@@ -1,0 +1,50 @@
+// Minimal from_chars-based field scanning for the text graph readers.
+//
+// The per-line istringstream parse the edge-list readers shipped with
+// costs a heap allocation and locale-aware extraction per line — ~20x the
+// work of scanning the digits. These helpers are the whole scanner: skip
+// ASCII whitespace, parse an unsigned decimal field, and report what is
+// left so callers can keep their exact error-message contracts.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace manywalks {
+
+/// ASCII whitespace as the edge-list formats use it (space, tab, CR — a
+/// CRLF line read by getline keeps its '\r', which must count as blank).
+constexpr bool is_field_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+/// Advances past whitespace; returns the first non-space position (== end
+/// when the rest of the line is blank).
+constexpr const char* skip_field_space(const char* p, const char* end) noexcept {
+  while (p != end && is_field_space(*p)) ++p;
+  return p;
+}
+
+/// Parses one unsigned decimal field at *p (no leading sign, no leading
+/// whitespace — call skip_field_space first). On success stores the value,
+/// advances p past the digits, and returns true. Overflow or a non-digit
+/// first character fail without advancing.
+inline bool parse_u64_field(const char*& p, const char* end,
+                            std::uint64_t& value) noexcept {
+  const auto [next, ec] = std::from_chars(p, end, value, 10);
+  if (ec != std::errc{} || next == p) return false;
+  p = next;
+  return true;
+}
+
+/// The rest of the line from `p` up to the next whitespace — the "trailing
+/// garbage" token the error messages quote.
+inline std::string first_field_token(const char* p, const char* end) {
+  const char* q = p;
+  while (q != end && !is_field_space(*q)) ++q;
+  return std::string(p, q);
+}
+
+}  // namespace manywalks

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -16,15 +18,25 @@
 
 namespace manywalks {
 
-/// One vertex from the stationary distribution pi(v) = deg(v)/num_arcs:
-/// pick a uniform arc and return its source (O(log n) binary search).
-inline Vertex sample_stationary_vertex(const Graph& g, Rng& rng) {
-  MW_REQUIRE(g.num_arcs() > 0, "stationary sampling needs edges");
-  const std::uint64_t arc = rng.uniform_below64(g.num_arcs());
-  const auto offsets = g.offsets();
+/// One vertex from the stationary distribution pi(v) = deg(v)/num_arcs,
+/// given only a CSR offsets array: pick a uniform arc and binary-search
+/// the row containing it. This is the form a memory-mapped graph
+/// (storage/mapped_graph.hpp) samples through — the offsets span views
+/// the file mapping and no Graph ever exists.
+inline Vertex sample_stationary_vertex_csr(
+    std::span<const std::uint64_t> offsets, Rng& rng) {
+  MW_REQUIRE(offsets.size() >= 2 && offsets.back() > 0,
+             "stationary sampling needs edges");
+  const std::uint64_t arc = rng.uniform_below64(offsets.back());
   // offsets is sorted; find the row containing `arc`.
   const auto it = std::upper_bound(offsets.begin(), offsets.end(), arc);
   return static_cast<Vertex>((it - offsets.begin()) - 1);
+}
+
+/// One vertex from the stationary distribution pi(v) = deg(v)/num_arcs
+/// (delegates to the CSR form; the draw sequence is identical).
+inline Vertex sample_stationary_vertex(const Graph& g, Rng& rng) {
+  return sample_stationary_vertex_csr(g.offsets(), rng);
 }
 
 /// k independent stationary starts (with repetition).

@@ -4,6 +4,8 @@
 // docs/REPRODUCING.md coverage contract enforced in CI.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -14,6 +16,8 @@
 #include "cli/presets.hpp"
 #include "cli/registry.hpp"
 #include "cli/sinks.hpp"
+#include "graph/generators.hpp"
+#include "storage/mwg.hpp"
 
 namespace manywalks::cli {
 namespace {
@@ -26,7 +30,7 @@ ExperimentResult empty_runner(const ExperimentParams&, ThreadPool&) {
 
 TEST(Registry, DefaultRegistryHasAllExperiments) {
   const ExperimentRegistry& registry = default_registry();
-  EXPECT_GE(registry.size(), 15u);
+  EXPECT_GE(registry.size(), 17u);
   for (const Experiment* experiment : registry.list()) {
     SCOPED_TRACE(experiment->info.name);
     EXPECT_FALSE(experiment->info.summary.empty());
@@ -41,7 +45,8 @@ TEST(Registry, DefaultRegistryHasAllExperiments) {
         "fig_grid_spectrum", "fig_grid_lower_bound", "fig_barbell_speedup",
         "fig_conjectures", "fig_matthews_bounds", "fig_mixing_bound",
         "fig_lemma16", "fig_aldous_concentration", "fig_stationary_start",
-        "fig_start_placement", "giant-cycle-speedup", "giant-torus-speedup"}) {
+        "fig_start_placement", "giant-cycle-speedup", "giant-torus-speedup",
+        "mwg-speedup", "mwg-starts"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
 }
@@ -277,6 +282,19 @@ TEST(Sinks, CellTextFormatting) {
 
 // --- end-to-end: runners ----------------------------------------------------
 
+/// Small stored-graph fixture for the mwg-* experiments (written once; the
+/// smoke test must exercise the registered runners' real mmap load path).
+const std::string& mwg_smoke_fixture() {
+  static const std::string path = [] {
+    const std::string p =
+        (std::filesystem::temp_directory_path() / "manywalks_test_cli.mwg")
+            .string();
+    write_mwg(p, make_grid_2d(6));
+    return p;
+  }();
+  return path;
+}
+
 ExperimentParams smoke_params(const Experiment& experiment) {
   const std::string& name = experiment.info.name;
   ExperimentParams params;
@@ -294,6 +312,10 @@ ExperimentParams smoke_params(const Experiment& experiment) {
     params.n = 32;
   } else if (name == "fig_barbell_speedup") {
     params.n = 31;
+  } else if (name == "mwg-speedup" || name == "mwg-starts") {
+    params.graph = mwg_smoke_fixture();
+    params.kmax = 4;
+    params.k = 2;
   }
   return params;
 }

@@ -232,6 +232,22 @@ TEST(ErdosRenyiConnectedGen, ProducesConnectedGraph) {
   EXPECT_TRUE(is_connected(g));
 }
 
+TEST(ErdosRenyiConnectedGen, FailureDiagnosticReportsObservedComponents) {
+  // Far below the connectivity threshold every draw fragments; the error
+  // must report what the last attempt actually looked like (component
+  // count and largest size), not just the generic "raise p" advice.
+  Rng rng(5);
+  try {
+    make_erdos_renyi_connected(64, 0.005, rng, /*max_attempts=*/2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("components, largest"), std::string::npos) << what;
+    EXPECT_NE(what.find("of 64 vertices"), std::string::npos) << what;
+    EXPECT_NE(what.find("raise p"), std::string::npos) << what;
+  }
+}
+
 TEST(RandomRegularGen, IsSimpleAndRegular) {
   Rng rng(31);
   for (Vertex d : {3u, 4u, 8u}) {

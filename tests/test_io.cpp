@@ -119,6 +119,24 @@ TEST(GraphIo, RoundtripSurvivesRereading) {
   expect_same_graph(g, read_edge_list(second));
 }
 
+TEST(GraphIo, FromCharsScannerRejectsNonDecimalFields) {
+  // The scanner is std::from_chars on plain decimal digits: signs, hex,
+  // floats, and overflow must all fail as "bad edge", never silently wrap
+  // (istream extraction used to accept "+1" and wrap "-1" to 2^64-1).
+  for (const char* body :
+       {"+1 2\n", "-1 2\n", "0x1 2\n", "1.5 2\n",
+        "18446744073709551616 0\n"}) {
+    SCOPED_TRACE(body);
+    std::stringstream ss(std::string("# manywalks-graph 1\n3\n") + body);
+    EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+  }
+}
+
+TEST(GraphIo, AcceptsCrlfAndTabSeparators) {
+  std::stringstream ss("# manywalks-graph 1\n3\n0\t1\r\n1 2\r\n");
+  EXPECT_EQ(read_edge_list(ss).num_edges(), 2u);
+}
+
 TEST(GraphIo, SkipsCommentsAndBlankLines) {
   std::stringstream ss("# manywalks-graph 1\n3\n\n# a comment\n0 1\n1 2\n");
   const Graph g = read_edge_list(ss);
