@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <system_error>
 #include <utility>
 
 #include "util/check.hpp"
@@ -21,18 +22,26 @@ constexpr std::uint32_t byte_swap32(std::uint32_t x) noexcept {
          ((x & 0x00ff0000u) >> 8) | ((x & 0xff000000u) >> 24);
 }
 
+/// Thread-safe strerror: std::strerror's static buffer is flagged by
+/// concurrency-mt-unsafe, and MappedGraph loads can legitimately race
+/// (e.g. a future `manywalks serve` opening graphs from worker threads).
+std::string errno_message(int err) {
+  return std::error_code(err, std::generic_category()).message();
+}
+
 }  // namespace
 
 MappedGraph::MappedGraph(const std::string& path, Validate validate)
     : path_(path) {
   const int fd = ::open(path.c_str(), O_RDONLY);
-  MW_REQUIRE(fd >= 0,
-             "cannot open '" << path << "': " << std::strerror(errno));
+  if (fd < 0) {
+    throw MwgIoError("cannot open '" + path + "': " + errno_message(errno));
+  }
   struct stat st{};
   if (::fstat(fd, &st) != 0) {
     const int err = errno;
     ::close(fd);
-    MW_REQUIRE(false, "cannot stat '" << path << "': " << std::strerror(err));
+    throw MwgIoError("cannot stat '" + path + "': " + errno_message(err));
   }
   const auto file_bytes = static_cast<std::uint64_t>(st.st_size);
   if (file_bytes < kMwgHeaderBytes) {
@@ -44,8 +53,10 @@ MappedGraph::MappedGraph(const std::string& path, Validate validate)
   void* base = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
   const int map_err = errno;
   ::close(fd);  // the mapping keeps its own reference to the file
-  MW_REQUIRE(base != MAP_FAILED,
-             "mmap of '" << path << "' failed: " << std::strerror(map_err));
+  if (base == MAP_FAILED) {
+    throw MwgIoError("mmap of '" + path +
+                     "' failed: " + errno_message(map_err));
+  }
   base_ = base;
   mapped_bytes_ = file_bytes;
 

@@ -20,7 +20,9 @@ MwgWriter::MwgWriter(std::string path, Vertex num_vertices)
       out_(path_, std::ios::binary | std::ios::trunc),
       n_(num_vertices) {
   MW_REQUIRE(num_vertices != kInvalidVertex, "mwg vertex count too large");
-  MW_REQUIRE(out_.good(), "cannot open '" << path_ << "' for writing");
+  if (!out_.good()) {
+    throw MwgIoError("cannot open '" + path_ + "' for writing");
+  }
   offsets_.reserve(static_cast<std::size_t>(n_) + 1);
   offsets_.push_back(0);
   // Targets stream to their final position; the header and offsets are

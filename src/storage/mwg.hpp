@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <fstream>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -38,6 +39,17 @@
 #include "util/check.hpp"
 
 namespace manywalks {
+
+/// Environmental I/O failure on an mwg file: missing path, permission
+/// denied, stat/mmap failure. Distinct from the std::invalid_argument that
+/// MW_REQUIRE throws for *content* problems (bad magic, truncation, header
+/// lies) so callers — the CLI above all — can show the message as-is
+/// without the requirement-violated diagnostics prefix: these are user
+/// errors, not bugs, and need no file:line breadcrumb.
+class MwgIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 inline constexpr char kMwgMagic[8] = {'M', 'W', 'G', 'R', 'A', 'P', 'H', '1'};
 /// Written in the producer's native order; a consumer that reads it

@@ -2,7 +2,10 @@
 //
 // Library entry points validate their arguments with MW_REQUIRE (always on,
 // throws std::invalid_argument) so misuse fails loudly; internal invariants
-// use MW_ASSERT which compiles to nothing in release builds.
+// use MW_ASSERT which compiles to nothing in release builds. Bare `assert`
+// in library code is rejected by the manywalks-bare-assert lint rule
+// (tools/lint/manywalks_lint.py): it vanishes under NDEBUG, so release
+// builds would silently skip the check.
 #pragma once
 
 #include <sstream>

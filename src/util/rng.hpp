@@ -14,6 +14,11 @@
 //   * LaneRngs — a bank of per-lane streams derived from one master seed,
 //     the basis of the walk engine's lane sampling mode (determinism
 //     contract v2, docs/ARCHITECTURE.md).
+//
+// This header is the only place allowed to construct raw generators: the
+// manywalks-raw-rng lint rule (tools/lint/manywalks_lint.py) rejects
+// std::mt19937 / rand() / std::random_device everywhere else, so all
+// randomness flows through these seeded, stream-separable types.
 #pragma once
 
 #include <array>

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <utility>
 
 #include "util/check.hpp"
 
@@ -42,6 +43,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_task_error_) {
+    std::exception_ptr error = std::exchange(first_task_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -56,9 +62,15 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      if (error && !first_task_error_) first_task_error_ = error;
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
     }
@@ -98,23 +110,25 @@ void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
   // The calling thread participates too, so a pool of size 1 still makes
   // progress even if all workers are busy with unrelated tasks.
   const unsigned helpers = pool.size();
-  std::atomic<unsigned> done{0};
+  unsigned done = 0;
   std::mutex done_mutex;
   std::condition_variable done_cv;
   for (unsigned t = 0; t < helpers; ++t) {
     pool.submit([&, drain] {
       drain();
-      {
-        std::lock_guard lock(done_mutex);
-        ++done;
-      }
+      // Notify while still holding the lock: done_cv and done_mutex live on
+      // the caller's stack, and the caller can only observe done == helpers
+      // (and destroy them) after we release the mutex — notifying after the
+      // unlock would race a straggler's notify_one against the destruction.
+      std::lock_guard lock(done_mutex);
+      ++done;
       done_cv.notify_one();
     });
   }
   drain();
   {
     std::unique_lock lock(done_mutex);
-    done_cv.wait(lock, [&] { return done.load() == helpers; });
+    done_cv.wait(lock, [&] { return done == helpers; });
   }
   if (first_error->load()) std::rethrow_exception(*error);
 }

@@ -8,6 +8,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -24,10 +25,15 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution. Tasks should not throw; if
+  /// one does, the worker survives and the first exception is captured and
+  /// rethrown from the next wait_idle() instead of terminating the process.
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Blocks until the queue is empty and all workers are idle. Rethrows the
+  /// first exception that escaped a submitted task since the last wait_idle()
+  /// (later ones are dropped). An exception still pending at destruction is
+  /// discarded — the destructor only drains and joins.
   void wait_idle();
 
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
@@ -42,6 +48,7 @@ class ThreadPool {
   std::condition_variable idle_;
   std::uint64_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_task_error_;
 };
 
 /// Runs `body(i)` for every i in [begin, end) across the pool, blocking the

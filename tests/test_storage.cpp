@@ -240,6 +240,39 @@ TEST_F(CorruptFixture, RejectsAbandonedWrite) {
   EXPECT_THROW(MappedGraph{unfinished.path()}, std::invalid_argument);
 }
 
+// Environmental I/O failures are MwgIoError with a user-facing message —
+// no "requirement violated"/file:line diagnostics noise — so the CLI can
+// print what() verbatim (`manywalks graph info missing.mwg`).
+TEST(MwgIoErrors, MissingPathThrowsCleanIoError) {
+  const std::string missing = "/nonexistent-dir/manywalks-missing.mwg";
+  try {
+    const MappedGraph mapped(missing);
+    FAIL() << "expected MwgIoError";
+  } catch (const MwgIoError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("cannot open"), std::string::npos) << what;
+    EXPECT_NE(what.find(missing), std::string::npos) << what;
+    EXPECT_EQ(what.find("requirement violated"), std::string::npos) << what;
+  }
+}
+
+TEST(MwgIoErrors, UnwritableWriterPathThrowsCleanIoError) {
+  try {
+    MwgWriter writer("/nonexistent-dir/out.mwg", 3);
+    FAIL() << "expected MwgIoError";
+  } catch (const MwgIoError& error) {
+    EXPECT_NE(std::string(error.what()).find("for writing"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+// MwgIoError still lands in generic std::exception handlers (it must never
+// bypass the CLI's catch).
+TEST(MwgIoErrors, IsARuntimeError) {
+  EXPECT_THROW(MappedGraph{"/nonexistent-dir/x.mwg"}, std::runtime_error);
+}
+
 // --- mmap-vs-in-core engine bit identity -------------------------------------
 
 std::vector<std::uint64_t> sample_steps(WalkEngineT<CsrSubstrate>& engine,

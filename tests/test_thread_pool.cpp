@@ -46,6 +46,74 @@ TEST(ThreadPoolTest, ReusableAfterWaitIdle) {
   EXPECT_EQ(counter.load(), 2);
 }
 
+TEST(ThreadPoolTest, ThrowingTaskSurfacesAtWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  pool.submit([&counter] { counter.fetch_add(1); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected the task's exception from wait_idle";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "task boom");
+  }
+  // The exception is consumed: other tasks still ran, the pool is idle, and
+  // a second wait does not rethrow.
+  EXPECT_EQ(counter.load(), 1);
+  pool.wait_idle();
+}
+
+TEST(ThreadPoolTest, OnlyFirstTaskExceptionIsKept) {
+  ThreadPool pool(1);
+  for (int i = 0; i < 3; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.wait_idle();  // later exceptions were dropped, not queued
+}
+
+TEST(ThreadPoolTest, ReusableAfterTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::invalid_argument("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::invalid_argument);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedWork) {
+  // The destructor drains the queue before joining: every task submitted
+  // before shutdown runs, even with far more tasks than workers.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    // No wait_idle: destruction itself must flush the queue.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, DestructionWithPendingExceptionDoesNotTerminate) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("unobserved"); });
+    pool.submit([&counter] { counter.fetch_add(1); });
+    // Destructor discards the captured exception instead of rethrowing.
+  }
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitNullTaskIsRejected) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), std::invalid_argument);
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(1000);

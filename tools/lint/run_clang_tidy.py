@@ -1,0 +1,327 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over the repo and diffs findings against the baseline.
+
+The committed baseline (tools/lint/clang_tidy_baseline.json) is the
+contract: findings present there are tolerated (with a tracked inventory),
+anything new fails. Findings are keyed on (file, check, message) — not on
+line numbers — so unrelated edits that merely shift lines do not churn the
+baseline; the current line is still reported for navigation.
+
+Usage:
+    run_clang_tidy.py --build-dir build            lint src/ TUs
+    run_clang_tidy.py ... --update-baseline        rewrite the baseline
+    run_clang_tidy.py ... --diff-out diff.json     write the diff artifact
+    run_clang_tidy.py ... --if-missing=skip        exit 0 when clang-tidy
+                                                   is not installed (local
+                                                   trees without LLVM)
+
+Exit status: 0 clean (or skipped), 1 new findings, 2 environment/usage
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+BASELINE_SCHEMA = "manywalks-clang-tidy-baseline-v1"
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?P<severity>warning|error): (?P<message>.*?) \[(?P<check>[\w.,-]+)\]$"
+)
+# Candidate binaries, preferred first; a bare `clang-tidy` resolves to
+# whatever the distro symlinks.
+TIDY_CANDIDATES = ["clang-tidy"] + [f"clang-tidy-{v}" for v in range(21, 13, -1)]
+
+
+def find_clang_tidy(explicit: str | None) -> str | None:
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in TIDY_CANDIDATES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def load_compile_commands(build_dir: str) -> list[dict]:
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(path):
+        sys.exit(f"run_clang_tidy: {path} not found — configure with CMake "
+                 "first (CMAKE_EXPORT_COMPILE_COMMANDS is on by default)")
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def select_sources(commands: list[dict], root: str) -> dict[str, str]:
+    """Maps each translation unit under src/ to its compile command
+    (headers ride along via HeaderFilterRegex). Tests/bench/examples are
+    compiled with the same warnings set but are not part of the lint
+    contract."""
+    src_root = os.path.join(root, "src") + os.sep
+    files: dict[str, str] = {}
+    for entry in commands:
+        path = os.path.abspath(
+            os.path.join(entry.get("directory", root), entry["file"]))
+        if path.startswith(src_root):
+            command = entry.get("command") or " ".join(
+                entry.get("arguments", []))
+            files[path] = command
+    return files
+
+
+def run_one(tidy: str, build_dir: str, path: str) -> tuple[str, str, int]:
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", path],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        check=False)
+    return path, proc.stdout + "\n" + proc.stderr, proc.returncode
+
+
+# --------------------------------------------------------------------------
+# Result cache. clang-tidy dominates the lint job's wall clock, so CI keeps
+# a per-TU cache (persisted with actions/cache) keyed on everything that can
+# change a TU's findings:
+#   * the tool identity (`clang-tidy --version`, which embeds the compiler
+#     toolchain the CI image ships),
+#   * the .clang-tidy configuration,
+#   * the TU's compile command,
+#   * the TU's own bytes, and
+#   * a global hash of every header under src/ — any header edit
+#     invalidates every TU, since the compilation database does not track
+#     per-TU include closures. Editing one .cpp re-lints only that TU.
+# --------------------------------------------------------------------------
+
+
+def _sha256(*parts: bytes) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part)
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def global_header_hash(root: str) -> str:
+    src_dir = os.path.join(root, "src")
+    parts: list[bytes] = []
+    for dirpath, _dirnames, filenames in sorted(os.walk(src_dir)):
+        for name in sorted(filenames):
+            if name.endswith((".hpp", ".h")):
+                path = os.path.join(dirpath, name)
+                with open(path, "rb") as f:
+                    parts.append(os.path.relpath(path, root).encode())
+                    parts.append(f.read())
+    return _sha256(*parts)
+
+
+def tool_version(tidy: str) -> str:
+    proc = subprocess.run([tidy, "--version"], stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True, check=False)
+    return proc.stdout.strip()
+
+
+def cache_key(path: str, entry_command: str, tool: str, config: bytes,
+              header_hash: str) -> str:
+    with open(path, "rb") as f:
+        contents = f.read()
+    return _sha256(tool.encode(), config, entry_command.encode(), contents,
+                   header_hash.encode())
+
+
+def cache_lookup(cache_dir: str, key: str) -> list[dict] | None:
+    try:
+        with open(os.path.join(cache_dir, key + ".json"),
+                  encoding="utf-8") as f:
+            return json.load(f)["findings"]
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+def cache_store(cache_dir: str, key: str, findings: list[dict]) -> None:
+    os.makedirs(cache_dir, exist_ok=True)
+    tmp = os.path.join(cache_dir, key + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump({"findings": findings}, f)
+    os.replace(tmp, os.path.join(cache_dir, key + ".json"))
+
+
+def parse_findings(output: str, root: str) -> list[dict]:
+    findings = []
+    for line in output.splitlines():
+        match = DIAG_RE.match(line.strip())
+        if not match:
+            continue
+        path = os.path.abspath(match.group("path"))
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        if rel.startswith(".."):  # system/third-party header: not ours
+            continue
+        for check in match.group("check").split(","):
+            findings.append({
+                "file": rel,
+                "check": check.strip(),
+                "message": match.group("message"),
+                "line": int(match.group("line")),
+            })
+    return findings
+
+
+def finding_key(finding: dict) -> tuple[str, str, str]:
+    return (finding["file"], finding["check"], finding["message"])
+
+
+def load_baseline(path: str) -> list[dict]:
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    if data.get("schema") != BASELINE_SCHEMA:
+        sys.exit(f"run_clang_tidy: {path} has schema "
+                 f"{data.get('schema')!r}, expected {BASELINE_SCHEMA!r}")
+    return data.get("findings", [])
+
+
+def write_baseline(path: str, findings: list[dict]) -> None:
+    entries = sorted(
+        ({k: f[k] for k in ("file", "check", "message")} for f in findings),
+        key=lambda f: (f["file"], f["check"], f["message"]))
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"schema": BASELINE_SCHEMA, "findings": entries}, f,
+                  indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="run_clang_tidy")
+    parser.add_argument("--build-dir", default="build",
+                        help="build tree with compile_commands.json")
+    parser.add_argument("--root", default=".", help="repo root")
+    parser.add_argument("--baseline",
+                        default="tools/lint/clang_tidy_baseline.json")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: first of "
+                             "clang-tidy, clang-tidy-<N>)")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for per-TU result caching (keyed on "
+                             "tool version + config + compile command + "
+                             "source/header hashes); CI persists it across "
+                             "runs")
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument("--diff-out", default=None,
+                        help="write the baseline diff as JSON (CI artifact)")
+    parser.add_argument("--if-missing", choices=("error", "skip"),
+                        default="error",
+                        help="behavior when no clang-tidy binary exists")
+    args = parser.parse_args(argv)
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if tidy is None:
+        message = ("run_clang_tidy: no clang-tidy binary found "
+                   f"(tried: {args.clang_tidy or ', '.join(TIDY_CANDIDATES)})")
+        if args.if_missing == "skip":
+            print(message + " — skipping (--if-missing=skip)")
+            return 0
+        print(message, file=sys.stderr)
+        return 2
+
+    root = os.path.abspath(args.root)
+    build_dir = os.path.abspath(args.build_dir)
+    commands = select_sources(load_compile_commands(build_dir), root)
+    sources = sorted(commands)
+    if not sources:
+        print("run_clang_tidy: no src/ translation units in "
+              f"{build_dir}/compile_commands.json", file=sys.stderr)
+        return 2
+
+    keys: dict[str, str] = {}
+    cached: dict[str, list[dict]] = {}
+    if args.cache_dir:
+        config_path = os.path.join(root, ".clang-tidy")
+        config = b""
+        if os.path.exists(config_path):
+            with open(config_path, "rb") as f:
+                config = f.read()
+        version = tool_version(tidy)
+        header_hash = global_header_hash(root)
+        for path in sources:
+            keys[path] = cache_key(path, commands[path], version, config,
+                                   header_hash)
+            hit = cache_lookup(args.cache_dir, keys[path])
+            if hit is not None:
+                cached[path] = hit
+
+    findings: list[dict] = []
+    failures: list[str] = []
+    to_run = [p for p in sources if p not in cached]
+    for hit in cached.values():
+        findings.extend(hit)
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, output, returncode in pool.map(
+                lambda p: run_one(tidy, build_dir, p), to_run):
+            parsed = parse_findings(output, root)
+            findings.extend(parsed)
+            # clang-tidy exits non-zero on hard errors (bad flags, missing
+            # headers) even with no diagnostics; surface those.
+            if returncode != 0 and not parsed:
+                failures.append(f"--- {os.path.relpath(path, root)}\n{output}")
+            elif args.cache_dir:
+                cache_store(args.cache_dir, keys[path], parsed)
+    if failures:
+        print("run_clang_tidy: clang-tidy failed to analyze:",
+              file=sys.stderr)
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        return 2
+    if args.cache_dir:
+        print(f"run_clang_tidy: cache {len(cached)} hit(s), "
+              f"{len(to_run)} miss(es)")
+
+    # Dedup: a header finding repeats once per including TU.
+    unique = {finding_key(f): f for f in findings}
+    findings = [unique[k] for k in sorted(unique)]
+
+    if args.update_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"run_clang_tidy: wrote {len(findings)} finding(s) to "
+              f"{args.baseline}")
+        return 0
+
+    baseline_keys = {finding_key(f) for f in load_baseline(args.baseline)}
+    new = [f for f in findings if finding_key(f) not in baseline_keys]
+    current_keys = {finding_key(f) for f in findings}
+    fixed = sorted(k for k in baseline_keys if k not in current_keys)
+
+    if args.diff_out:
+        with open(args.diff_out, "w", encoding="utf-8") as f:
+            json.dump({
+                "schema": "manywalks-clang-tidy-diff-v1",
+                "tool": tidy,
+                "analyzed": len(sources),
+                "new": new,
+                "fixed": [{"file": k[0], "check": k[1], "message": k[2]}
+                          for k in fixed],
+            }, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    for f in new:
+        print(f"{f['file']}:{f['line']}: [{f['check']}] {f['message']}")
+    if fixed:
+        print(f"run_clang_tidy: {len(fixed)} baseline finding(s) no longer "
+              "fire — prune them with --update-baseline", file=sys.stderr)
+    if new:
+        print(f"run_clang_tidy: {len(new)} new finding(s) vs baseline "
+              f"({len(sources)} TUs analyzed with {tidy})", file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: clean — {len(sources)} TUs, "
+          f"{len(findings)} baselined finding(s), 0 new ({tidy})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

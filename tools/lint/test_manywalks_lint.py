@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Unit tests for the manywalks-lint rule engine.
+
+Every rule is proven twice: it fires on a crafted violation, and it stays
+quiet on the fixed form of the same code. The lexer and the NOLINT escape
+hatch get their own coverage. Run directly or via ctest (lint_rules_unit).
+"""
+
+import sys
+import os
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import manywalks_lint as ml
+
+
+def lint(text, relpath="src/walk/cover.cpp"):
+    return ml.lint_text(relpath, relpath, text)
+
+
+def rules_fired(text, relpath="src/walk/cover.cpp"):
+    return {f.rule for f in lint(text, relpath)}
+
+
+class LexerTest(unittest.TestCase):
+    def test_line_comments_are_blanked(self):
+        code = ml.strip_comments_and_literals("int x; // std::mt19937\nint y;")
+        self.assertNotIn("mt19937", code)
+        self.assertIn("int y;", code)
+
+    def test_block_comments_preserve_line_numbers(self):
+        text = "a;\n/* line\nline\nline */\nb;"
+        code = ml.strip_comments_and_literals(text)
+        self.assertEqual(code.count("\n"), text.count("\n"))
+        self.assertEqual(code.splitlines()[4], "b;")
+
+    def test_string_and_char_literals_are_blanked(self):
+        code = ml.strip_comments_and_literals(
+            'const char* s = "assert(rand())"; char c = \'x\';')
+        self.assertNotIn("assert", code)
+        self.assertNotIn("rand", code)
+        self.assertIn('" ', code)  # quotes survive, contents do not
+
+    def test_escaped_quote_does_not_end_literal(self):
+        code = ml.strip_comments_and_literals('auto s = "a\\"rand()"; int z;')
+        self.assertNotIn("rand", code)
+        self.assertIn("int z;", code)
+
+    def test_raw_strings_are_blanked(self):
+        text = 'auto s = R"(call rand() here)"; int after;'
+        code = ml.strip_comments_and_literals(text)
+        self.assertNotIn("rand", code)
+        self.assertIn("int after;", code)
+
+    def test_comment_inside_string_is_not_a_comment(self):
+        code = ml.strip_comments_and_literals('auto url = "http://x"; int k;')
+        self.assertIn("int k;", code)
+
+
+class RawRngRuleTest(unittest.TestCase):
+    def test_fires_on_mt19937(self):
+        self.assertIn("manywalks-raw-rng",
+                      rules_fired("std::mt19937 gen(42);\n"))
+
+    def test_fires_on_mt19937_64(self):
+        self.assertIn("manywalks-raw-rng",
+                      rules_fired("std::mt19937_64 gen;\n"))
+
+    def test_fires_on_random_device(self):
+        self.assertIn("manywalks-raw-rng",
+                      rules_fired("std::random_device rd;\n"))
+
+    def test_fires_on_c_rand(self):
+        self.assertIn("manywalks-raw-rng",
+                      rules_fired("int r = rand() % n;\n"))
+
+    def test_quiet_on_the_fixed_form(self):
+        fixed = ("Rng rng(seed);\n"
+                 "const auto draw = rng.uniform_below(n);\n")
+        self.assertEqual(rules_fired(fixed), set())
+
+    def test_quiet_on_identifiers_containing_rand(self):
+        ok = ("Graph g = make_random_regular(n, d, rng);\n"
+              "double x = rng.uniform01();\n"
+              "auto operand(int);\n")
+        self.assertEqual(rules_fired(ok), set())
+
+    def test_rng_hpp_itself_is_exempt(self):
+        text = "std::mt19937_64 engine_;\n"
+        self.assertEqual(rules_fired(text, relpath="src/util/rng.hpp"), set())
+
+    def test_mention_in_comment_is_ignored(self):
+        self.assertEqual(
+            rules_fired("// seeded like std::mt19937 would be\nint x;\n"),
+            set())
+
+
+class UnorderedIterationRuleTest(unittest.TestCase):
+    VIOLATION = (
+        "#include <unordered_map>\n"
+        "void emit(Sink& sink) {\n"
+        "  std::unordered_map<Vertex, double> means;\n"
+        "  for (const auto& [v, m] : means) sink.row(v, m);\n"
+        "}\n")
+
+    FIXED = (
+        "#include <map>\n"
+        "void emit(Sink& sink) {\n"
+        "  std::map<Vertex, double> means;\n"
+        "  for (const auto& [v, m] : means) sink.row(v, m);\n"
+        "}\n")
+
+    def test_fires_on_range_for_over_unordered_map(self):
+        self.assertIn("manywalks-unordered-iter", rules_fired(self.VIOLATION))
+
+    def test_quiet_on_ordered_map(self):
+        self.assertEqual(rules_fired(self.FIXED), set())
+
+    def test_fires_on_begin_end(self):
+        text = ("std::unordered_set<std::uint64_t> edges;\n"
+                "auto it = edges.begin();\n")
+        self.assertIn("manywalks-unordered-iter", rules_fired(text))
+
+    def test_quiet_on_membership_operations(self):
+        text = ("std::unordered_set<std::uint64_t> edges;\n"
+                "edges.reserve(m);\n"
+                "if (edges.contains(key)) return;\n"
+                "edges.insert(key);\n"
+                "edges.erase(key);\n"
+                "if (edges.count(key)) return;\n"
+                "auto hit = edges.find(key);\n")
+        self.assertEqual(rules_fired(text), set())
+
+    def test_multiline_declaration_is_tracked(self):
+        text = ("std::unordered_map<std::uint64_t,\n"
+                "                   std::vector<double>> table;\n"
+                "for (auto& entry : table) use(entry);\n")
+        self.assertIn("manywalks-unordered-iter", rules_fired(text))
+
+
+class BareAssertRuleTest(unittest.TestCase):
+    def test_fires_on_bare_assert(self):
+        self.assertIn("manywalks-bare-assert",
+                      rules_fired("assert(n > 0);\n"))
+
+    def test_quiet_on_the_fixed_form(self):
+        fixed = ('MW_REQUIRE(n > 0, "need a vertex");\n'
+                 "MW_ASSERT(offsets.back() == arcs);\n")
+        self.assertEqual(rules_fired(fixed), set())
+
+    def test_quiet_on_static_assert(self):
+        self.assertEqual(
+            rules_fired("static_assert(sizeof(Vertex) == 4);\n"), set())
+
+    def test_quiet_on_method_named_assert(self):
+        # foo.assert(...) is not the C assert macro (gtest matchers etc.).
+        self.assertEqual(rules_fired("checker.assert(x);\n"), set())
+
+
+class FloatStatisticsRuleTest(unittest.TestCase):
+    def test_fires_in_estimator_code(self):
+        fired = rules_fired("float mean = 0;\n",
+                            relpath="src/mc/estimators.cpp")
+        self.assertIn("manywalks-float-stats", fired)
+
+    def test_fires_in_stats_util(self):
+        fired = rules_fired("std::vector<float> samples;\n",
+                            relpath="src/util/stats.hpp")
+        self.assertIn("manywalks-float-stats", fired)
+
+    def test_quiet_on_the_fixed_form(self):
+        fired = rules_fired("double mean = 0;\n",
+                            relpath="src/mc/estimators.cpp")
+        self.assertEqual(fired, set())
+
+    def test_out_of_scope_paths_are_not_checked(self):
+        # float is allowed outside estimator/statistics code (e.g. a future
+        # GPU packing layer under src/walk or src/storage).
+        fired = rules_fired("float packed;\n", relpath="src/storage/mwg.cpp")
+        self.assertEqual(fired, set())
+
+    def test_quiet_on_identifiers_containing_float(self):
+        fired = rules_fired("auto x = float_of(y); int afloat = 0;\n",
+                            relpath="src/mc/estimators.cpp")
+        self.assertNotIn("manywalks-float-stats", fired)
+
+
+class NolintEscapeTest(unittest.TestCase):
+    def test_nolint_on_the_same_line_suppresses(self):
+        text = "int r = rand();  // NOLINT(manywalks-raw-rng): legacy shim\n"
+        self.assertEqual(rules_fired(text), set())
+
+    def test_nolintnextline_suppresses_the_next_line(self):
+        text = ("// NOLINTNEXTLINE(manywalks-bare-assert): gtest helper\n"
+                "assert(ok);\n")
+        self.assertEqual(rules_fired(text), set())
+
+    def test_nolint_for_a_different_rule_does_not_suppress(self):
+        text = "int r = rand();  // NOLINT(manywalks-bare-assert): wrong\n"
+        self.assertIn("manywalks-raw-rng", rules_fired(text))
+
+    def test_bare_nolint_without_rule_does_not_suppress(self):
+        # The escape must name the rule so the inventory stays auditable.
+        text = "int r = rand();  // NOLINT\n"
+        self.assertIn("manywalks-raw-rng", rules_fired(text))
+
+    def test_nolint_covers_multiple_rules(self):
+        text = ("int r = rand();  "
+                "// NOLINT(manywalks-raw-rng, manywalks-bare-assert): both\n")
+        self.assertEqual(rules_fired(text), set())
+
+
+class FindingFormatTest(unittest.TestCase):
+    def test_position_is_line_and_column(self):
+        findings = lint("int a;\nint r = rand();\n")
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0].line, 2)
+        self.assertEqual(findings[0].col, 9)
+        self.assertIn("src/walk/cover.cpp:2:9: [manywalks-raw-rng]",
+                      findings[0].format())
+
+
+if __name__ == "__main__":
+    unittest.main()

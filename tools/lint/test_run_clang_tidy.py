@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Unit tests for run_clang_tidy.py's baseline/diff machinery.
+
+clang-tidy itself is not required: a stub executable (a tiny shell script
+emitting canned diagnostics read from a sidecar file) stands in for it, so
+the wrapper's parsing, dedup, baseline diffing, artifact output, and
+missing-binary handling are all testable on machines without LLVM — which
+is exactly the configuration the --if-missing path exists for.
+"""
+
+import json
+import os
+import shutil
+import stat
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+WRAPPER = os.path.join(TOOLS_DIR, "run_clang_tidy.py")
+
+
+class WrapperHarness(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.mkdtemp(prefix="mwtidy.")
+        self.addCleanup(shutil.rmtree, self.tmp, ignore_errors=True)
+        self.root = os.path.join(self.tmp, "repo")
+        self.build = os.path.join(self.root, "build")
+        os.makedirs(os.path.join(self.root, "src", "walk"))
+        os.makedirs(self.build)
+        self.source = os.path.join(self.root, "src", "walk", "cover.cpp")
+        with open(self.source, "w") as f:
+            f.write("int cover() { return 1; }\n")
+        with open(os.path.join(self.build, "compile_commands.json"), "w") as f:
+            json.dump([
+                {"directory": self.build, "file": self.source,
+                 "command": f"c++ -c {self.source}"},
+                # A TU outside src/ must be ignored by the contract.
+                {"directory": self.build,
+                 "file": os.path.join(self.root, "tests", "t.cpp"),
+                 "command": "c++ -c t.cpp"},
+            ], f)
+        self.baseline = os.path.join(self.root, "baseline.json")
+        self.diagnostics = os.path.join(self.tmp, "diagnostics.txt")
+        self.calls = os.path.join(self.tmp, "calls.txt")
+        self.stub = os.path.join(self.tmp, "fake-clang-tidy")
+        with open(self.stub, "w") as f:
+            # --version must not count as an analysis run.
+            f.write("#!/bin/sh\n"
+                    'if [ "$1" = --version ]; then echo stub-tidy 1.0; exit 0; fi\n'
+                    "echo run >> %s\n"
+                    "cat %s\n" % (self.calls, self.diagnostics))
+        os.chmod(self.stub, os.stat(self.stub).st_mode | stat.S_IEXEC)
+
+    def call_count(self):
+        if not os.path.exists(self.calls):
+            return 0
+        with open(self.calls) as f:
+            return len(f.readlines())
+
+    def set_diagnostics(self, *lines):
+        with open(self.diagnostics, "w") as f:
+            f.write("\n".join(lines) + "\n")
+
+    def run_wrapper(self, *extra):
+        proc = subprocess.run(
+            [sys.executable, WRAPPER, "--root", self.root,
+             "--build-dir", self.build, "--baseline", self.baseline,
+             "--clang-tidy", self.stub, "--jobs", "1", *extra],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            check=False)
+        return proc
+
+    def diag(self, line, check, message="found something"):
+        return (f"{self.source}:{line}:3: warning: {message} [{check}]")
+
+    def test_clean_run_exits_zero(self):
+        self.set_diagnostics("")  # no diagnostics at all
+        proc = self.run_wrapper()
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("0 new", proc.stdout)
+
+    def test_new_finding_fails(self):
+        self.set_diagnostics(self.diag(1, "performance-for-range-copy"))
+        proc = self.run_wrapper()
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("performance-for-range-copy", proc.stdout)
+        self.assertIn("1 new finding", proc.stderr)
+
+    def test_update_baseline_then_clean(self):
+        self.set_diagnostics(self.diag(7, "bugprone-use-after-move"))
+        proc = self.run_wrapper("--update-baseline")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        with open(self.baseline) as f:
+            data = json.load(f)
+        self.assertEqual(data["schema"], "manywalks-clang-tidy-baseline-v1")
+        self.assertEqual(len(data["findings"]), 1)
+        self.assertNotIn("line", data["findings"][0],
+                         "baseline keys must be line-number free")
+        # The same finding is now tolerated...
+        proc = self.run_wrapper()
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        # ...even if it moved to another line.
+        self.set_diagnostics(self.diag(99, "bugprone-use-after-move"))
+        proc = self.run_wrapper()
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_baselined_plus_new_reports_only_the_new(self):
+        self.set_diagnostics(self.diag(7, "bugprone-use-after-move"))
+        self.run_wrapper("--update-baseline")
+        self.set_diagnostics(
+            self.diag(7, "bugprone-use-after-move"),
+            self.diag(9, "concurrency-mt-unsafe", "localtime is racy"))
+        proc = self.run_wrapper()
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("concurrency-mt-unsafe", proc.stdout)
+        self.assertNotIn("bugprone-use-after-move", proc.stdout)
+
+    def test_fixed_baseline_entries_are_reported(self):
+        self.set_diagnostics(self.diag(7, "bugprone-use-after-move"))
+        self.run_wrapper("--update-baseline")
+        self.set_diagnostics("")
+        proc = self.run_wrapper()
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("no longer fire", proc.stderr)
+
+    def test_diff_artifact_is_written(self):
+        diff_path = os.path.join(self.tmp, "diff.json")
+        self.set_diagnostics(self.diag(3, "performance-no-int-to-ptr"))
+        proc = self.run_wrapper("--diff-out", diff_path)
+        self.assertEqual(proc.returncode, 1)
+        with open(diff_path) as f:
+            diff = json.load(f)
+        self.assertEqual(diff["schema"], "manywalks-clang-tidy-diff-v1")
+        self.assertEqual(len(diff["new"]), 1)
+        self.assertEqual(diff["new"][0]["check"], "performance-no-int-to-ptr")
+        self.assertEqual(diff["new"][0]["file"], "src/walk/cover.cpp")
+
+    def test_duplicate_header_findings_are_deduped(self):
+        line = self.diag(5, "modernize-use-nullptr")
+        self.set_diagnostics(line, line, line)
+        diff_path = os.path.join(self.tmp, "diff.json")
+        proc = self.run_wrapper("--diff-out", diff_path)
+        self.assertEqual(proc.returncode, 1)
+        with open(diff_path) as f:
+            self.assertEqual(len(json.load(f)["new"]), 1)
+
+    def test_diagnostics_outside_the_repo_are_ignored(self):
+        self.set_diagnostics(
+            "/usr/include/c++/12/bits/stl_vector.h:100:3: warning: system "
+            "noise [bugprone-foo]")
+        proc = self.run_wrapper()
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_missing_binary_skip_and_error_modes(self):
+        missing = os.path.join(self.tmp, "does-not-exist")
+        proc = subprocess.run(
+            [sys.executable, WRAPPER, "--root", self.root,
+             "--build-dir", self.build, "--clang-tidy", missing,
+             "--if-missing", "skip"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            check=False)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("skipping", proc.stdout)
+        proc = subprocess.run(
+            [sys.executable, WRAPPER, "--root", self.root,
+             "--build-dir", self.build, "--clang-tidy", missing],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            check=False)
+        self.assertEqual(proc.returncode, 2)
+
+    def test_cache_hit_skips_the_tool(self):
+        cache = os.path.join(self.tmp, "cache")
+        self.set_diagnostics("")
+        proc = self.run_wrapper("--cache-dir", cache)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertEqual(self.call_count(), 1)
+        proc = self.run_wrapper("--cache-dir", cache)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertEqual(self.call_count(), 1, "cache hit must not re-run")
+        self.assertIn("1 hit(s), 0 miss(es)", proc.stdout)
+
+    def test_cached_findings_are_still_diffed(self):
+        cache = os.path.join(self.tmp, "cache")
+        self.set_diagnostics(self.diag(4, "bugprone-sizeof-expression"))
+        proc = self.run_wrapper("--cache-dir", cache)
+        self.assertEqual(proc.returncode, 1)
+        # Second run serves the finding from cache and must still fail.
+        proc = self.run_wrapper("--cache-dir", cache)
+        self.assertEqual(proc.returncode, 1)
+        self.assertEqual(self.call_count(), 1)
+        self.assertIn("bugprone-sizeof-expression", proc.stdout)
+
+    def test_source_edit_invalidates_the_cache(self):
+        cache = os.path.join(self.tmp, "cache")
+        self.set_diagnostics("")
+        self.run_wrapper("--cache-dir", cache)
+        with open(self.source, "a") as f:
+            f.write("int more() { return 2; }\n")
+        self.run_wrapper("--cache-dir", cache)
+        self.assertEqual(self.call_count(), 2)
+
+    def test_header_edit_invalidates_every_tu(self):
+        cache = os.path.join(self.tmp, "cache")
+        self.set_diagnostics("")
+        self.run_wrapper("--cache-dir", cache)
+        with open(os.path.join(self.root, "src", "walk", "cover.hpp"),
+                  "w") as f:
+            f.write("#pragma once\n")
+        self.run_wrapper("--cache-dir", cache)
+        self.assertEqual(self.call_count(), 2,
+                         "a header edit must invalidate dependent TUs")
+
+    def test_hard_tool_failure_is_an_environment_error(self):
+        with open(self.stub, "w") as f:
+            f.write("#!/bin/sh\necho 'error: no such flag' >&2\nexit 1\n")
+        os.chmod(self.stub, os.stat(self.stub).st_mode | stat.S_IEXEC)
+        proc = self.run_wrapper()
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("failed to analyze", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
