@@ -21,10 +21,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/families.hpp"
+#include "util/thread_pool.hpp"
 #include "graph/generators.hpp"
 #include "graph/substrate.hpp"
 #include "mc/estimators.hpp"
@@ -520,19 +522,149 @@ bool lane_guard_passes(const std::vector<Bench4Row>& rows) {
   return ok;
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_scale: strong scaling of ONE sharded cover run (determinism
+// contract v3). The acceptance instance is the 10^6-vertex 8-regular
+// expander at k = 2^12: threads=1 runs the serial lane path, threads>1 a
+// ThreadPool(threads-1) worker team over 16 lane shards. The round counts
+// MUST be identical across thread counts (thread-invariance is part of the
+// contract, checked here on every run, guard or not); the guard addition-
+// ally gates the 4-thread/1-thread steps/s ratio.
+// ---------------------------------------------------------------------------
+
+struct ScaleRow {
+  unsigned threads = 0;
+  unsigned lane_shards = 0;
+  std::uint64_t rounds = 0;  // summed over trials; thread-invariant
+  double steps_per_s = 0.0;  // token-steps per second
+};
+
+std::vector<ScaleRow> run_scale() {
+  const Graph g = make_margulis_expander(1024);  // n = 2^20
+  constexpr unsigned kK = 1u << 12;
+  const auto target =
+      static_cast<Vertex>(static_cast<double>(g.num_vertices()) * 0.9);
+  const std::vector<Vertex> starts(kK, 0);
+  constexpr std::uint64_t kSeed = 0x5ca1eULL;
+  constexpr std::uint64_t kTrials = 6;
+  WalkEngine engine(g);
+
+  std::printf("sharded strong scaling (expander n=%u, k=%u, 90%% coverage, "
+              "%llu trials):\n",
+              g.num_vertices(), kK,
+              static_cast<unsigned long long>(kTrials));
+  std::printf("%8s %12s %10s %15s %8s\n", "threads", "lane-shards", "rounds",
+              "steps/s", "vs 1t");
+  std::vector<ScaleRow> rows;
+  using clock = std::chrono::steady_clock;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    ScaleRow row;
+    row.threads = threads;
+    std::unique_ptr<ThreadPool> pool;
+    CoverOptions opt;
+    opt.rng_mode = RngMode::kLane;
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads - 1);
+      row.lane_shards = 16;
+      opt.lane_shards = row.lane_shards;
+      opt.shard_pool = pool.get();
+    }
+    {
+      // Warm-up trial pages in the tracker scratch and spins up the pool.
+      Rng warm = make_trial_rng(kSeed, 1000);
+      engine.reset(starts);
+      engine.run_until_visited(target, warm, opt);
+    }
+    double secs = 0.0;
+    for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+      Rng rng = make_trial_rng(kSeed, trial);
+      engine.reset(starts);
+      const auto t0 = clock::now();
+      const CoverSample sample = engine.run_until_visited(target, rng, opt);
+      const auto t1 = clock::now();
+      secs += std::chrono::duration<double>(t1 - t0).count();
+      row.rounds += sample.steps;
+    }
+    row.steps_per_s = static_cast<double>(row.rounds) * kK / secs;
+    std::printf("%8u %12u %10llu %14.1fM %7.2fx\n", row.threads,
+                row.lane_shards, static_cast<unsigned long long>(row.rounds),
+                row.steps_per_s / 1e6,
+                rows.empty() ? 1.0 : row.steps_per_s / rows[0].steps_per_s);
+    rows.push_back(row);
+  }
+  std::printf("\n");
+  return rows;
+}
+
+void write_scale_json(const std::vector<ScaleRow>& rows,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"schema\": \"manywalks-scale-v1\",\n"
+      << "  \"metric\": \"token-steps per second, one sharded cover run, "
+         "expander n=2^20, k=4096, 90% coverage\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScaleRow& r = rows[i];
+    out << "    {\"threads\": " << r.threads
+        << ", \"lane_shards\": " << r.lane_shards
+        << ", \"rounds\": " << r.rounds
+        << ", \"steps_per_s\": " << static_cast<std::uint64_t>(r.steps_per_s)
+        << ", \"speedup_vs_1t\": "
+        << (rows[0].steps_per_s > 0.0 ? r.steps_per_s / rows[0].steps_per_s
+                                      : 0.0)
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s (%zu rows)\n\n", path.c_str(), rows.size());
+}
+
+/// Thread-invariance is unconditional (a divergence is a correctness bug,
+/// not a perf regression); the >= 1.6x floor on the 4-thread ratio is the
+/// CI strong-scaling gate.
+bool scale_results_pass(const std::vector<ScaleRow>& rows, bool guard) {
+  bool ok = true;
+  for (const ScaleRow& row : rows) {
+    if (row.rounds != rows[0].rounds) {
+      std::fprintf(stderr,
+                   "scale FAIL: rounds not thread-invariant (%llu rounds at "
+                   "%u threads vs %llu at 1) — determinism contract v3 broken\n",
+                   static_cast<unsigned long long>(row.rounds), row.threads,
+                   static_cast<unsigned long long>(rows[0].rounds));
+      ok = false;
+    }
+  }
+  if (guard) {
+    const double ratio = rows.back().steps_per_s / rows[0].steps_per_s;
+    const bool pass = ratio >= 1.6;
+    std::printf("scale_guard %u threads vs 1: %.2fx (floor 1.6x) %s\n\n",
+                rows.back().threads, ratio, pass ? "OK" : "FAIL");
+    ok = ok && pass;
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Strip our flags before google-benchmark sees the command line.
   std::string bench4_out = "BENCH_4.json";
+  std::string scale_out = "BENCH_scale.json";
   bool lane_guard = false;
+  bool scale_guard = false;
   int out_argc = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--bench4_out=", 13) == 0) {
       bench4_out = arg + 13;
+    } else if (std::strncmp(arg, "--scale_out=", 12) == 0) {
+      scale_out = arg + 12;
     } else if (std::strcmp(arg, "--lane_guard") == 0) {
       lane_guard = true;
+    } else if (std::strcmp(arg, "--scale_guard") == 0) {
+      scale_guard = true;
     } else {
       argv[out_argc++] = argv[i];
     }
@@ -544,6 +676,9 @@ int main(int argc, char** argv) {
   const std::vector<Bench4Row> bench4 = run_bench4();
   write_bench4_json(bench4, bench4_out);
   if (lane_guard && !lane_guard_passes(bench4)) return EXIT_FAILURE;
+  const std::vector<ScaleRow> scale = run_scale();
+  write_scale_json(scale, scale_out);
+  if (!scale_results_pass(scale, scale_guard)) return EXIT_FAILURE;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return EXIT_FAILURE;
   benchmark::RunSpecifiedBenchmarks();

@@ -119,6 +119,11 @@ int run_experiment_main(std::string_view name, int argc, char** argv) {
     parser.add_option("graph", &params.graph,
                       "stored .mwg graph file (see `manywalks graph`)");
   }
+  if (has_extra(info, ExtraParam::kLaneShards)) {
+    parser.add_option("lane-shards", &params.lane_shards,
+                      "lane shards per cover trial (0 = thread-budget "
+                      "policy; any value yields identical results)");
+  }
   if (!parser.parse(argc, argv)) return 1;
   if (!parse_output_format(format_text, &sink.format)) {
     std::cerr << info.name << ": unknown --format '" << format_text
@@ -126,6 +131,9 @@ int run_experiment_main(std::string_view name, int argc, char** argv) {
     return 1;
   }
 
+  // THE place "--threads 0 = hardware" is resolved: runners and sinks
+  // downstream always see the real worker count, never the 0 sentinel.
+  if (params.threads == 0) params.threads = default_thread_count();
   ThreadPool pool(params.threads);
   Stopwatch watch;
   ExperimentResult result;

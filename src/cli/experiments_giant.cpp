@@ -101,6 +101,7 @@ ExperimentResult run_giant_cycle(const ExperimentParams& params,
   CoverOptions cover = lane_cover_options();
   cover.step_cap = saturating_cap(
       64.0 * static_cast<double>(target) * static_cast<double>(target));
+  cover.lane_shards = params.lane_shards;
 
   McOptions mc = preset_mc(trials);
   mc.seed = mix64(seed ^ 0x61a27c1eULL);
@@ -111,6 +112,7 @@ ExperimentResult run_giant_cycle(const ExperimentParams& params,
   push_common_params(result, seed, params.full, n64, trials, pool.size());
   push_param(result, "kmax", k_limit);
   push_param(result, "target", static_cast<std::uint64_t>(target));
+  push_parallelism_params(result, cover, mc.max_trials, k_limit, pool.size());
   result.preamble.push_back(memory_model_line(n64, /*degree=*/2));
   result.tables.push_back(speedup_table(
       "speedup",
@@ -153,6 +155,7 @@ ExperimentResult run_giant_torus(const ExperimentParams& params,
   const double d = static_cast<double>(target);
   CoverOptions cover = lane_cover_options();
   cover.step_cap = saturating_cap(64.0 * d * std::max(std::log(d), 1.0));
+  cover.lane_shards = params.lane_shards;
 
   McOptions mc = preset_mc(trials);
   mc.seed = mix64(seed ^ 0x9a7052e5ULL);
@@ -165,6 +168,7 @@ ExperimentResult run_giant_torus(const ExperimentParams& params,
   push_param(result, "side", static_cast<std::uint64_t>(side));
   push_param(result, "kmax", k_limit);
   push_param(result, "target", static_cast<std::uint64_t>(target));
+  push_parallelism_params(result, cover, mc.max_trials, k_limit, pool.size());
   result.preamble.push_back(memory_model_line(n, /*degree=*/4));
   result.tables.push_back(speedup_table(
       "speedup",
@@ -189,13 +193,15 @@ void register_giant_experiments(ExperimentRegistry& registry) {
                 "implicit 10^7–10^8 cycle: partial-cover S^k = Θ(log k)",
                 "Theorem 6 (§5) at giant n",
                 /*default_seed=*/621,
-                {ExtraParam::kKmax, ExtraParam::kTarget}},
+                {ExtraParam::kKmax, ExtraParam::kTarget,
+                 ExtraParam::kLaneShards}},
                run_giant_cycle);
   registry.add({"giant-torus-speedup",
                 "implicit 10^7–10^8 torus: near-linear partial-cover S^k",
                 "Theorem 8 (§4) at giant n",
                 /*default_seed=*/824,
-                {ExtraParam::kKmax, ExtraParam::kTarget}},
+                {ExtraParam::kKmax, ExtraParam::kTarget,
+                 ExtraParam::kLaneShards}},
                run_giant_torus);
 }
 

@@ -73,10 +73,12 @@ ExperimentResult run_mwg_speedup_on_substrate(const CsrSubstrate& substrate,
   const Vertex target = clamp_cover_target(resolve_target(preset, params), n);
   const std::vector<unsigned> ks = geometric_ks(k_limit);
 
+  CoverOptions cover_run = cover;
+  cover_run.lane_shards = params.lane_shards;
   McOptions mc = preset_mc(trials);
   mc.seed = mix64(seed ^ 0x3396a1ULL);
   const std::vector<SpeedupEstimate> curve = estimate_speedup_curve_to_target(
-      substrate, start, target, ks, mc, cover, &pool);
+      substrate, start, target, ks, mc, cover_run, &pool);
 
   ResultTable table("speedup",
                     source + " — S^k from vertex " + format_count(start) +
@@ -109,6 +111,8 @@ ExperimentResult run_mwg_speedup_on_substrate(const CsrSubstrate& substrate,
   push_param(result, "start", static_cast<std::uint64_t>(start));
   push_param(result, "kmax", k_limit);
   push_param(result, "target", static_cast<std::uint64_t>(target));
+  push_parallelism_params(result, cover_run, mc.max_trials, k_limit,
+                          pool.size());
   result.preamble.push_back(substrate_preamble(substrate, source));
   result.tables.push_back(std::move(table));
   result.notes = {
@@ -131,23 +135,29 @@ ExperimentResult run_mwg_starts_on_substrate(const CsrSubstrate& substrate,
       "mwg-starts", std::max<std::uint64_t>(resolve_k(preset, params), 1)));
   const Vertex n = substrate.num_vertices();
   const Vertex start = checked_start("mwg-starts", params, n);
-  const McOptions mc = preset_mc(trials);
+  // The two raw run_monte_carlo calls below bypass the estimators, so the
+  // thread-budget policy is applied here once (lanes = k for all three
+  // placements); estimate_k_cover_time re-applies it idempotently.
+  CoverOptions cover_run = cover;
+  cover_run.lane_shards = params.lane_shards;
+  McOptions mc = preset_mc(trials);
+  apply_thread_budget(k, &pool, mc, cover_run);
 
   McOptions same_mc = mc;
   same_mc.seed = mix64(seed ^ 0x3a11ULL);
   const McResult same =
-      estimate_k_cover_time(substrate, start, k, same_mc, cover, &pool);
+      estimate_k_cover_time(substrate, start, k, same_mc, cover_run, &pool);
 
   McOptions stationary_mc = mc;
   stationary_mc.seed = mix64(seed ^ 0x3a22ULL);
   const McResult stationary = run_monte_carlo(
-      [substrate, k, cover](std::uint64_t, Rng& rng) {
+      [substrate, k, cover_run](std::uint64_t, Rng& rng) {
         std::vector<Vertex> starts(k);
         for (Vertex& s : starts) {
           s = sample_stationary_vertex_csr(substrate.offsets(), rng);
         }
         const CoverSample sample = sample_cover_to_target(
-            substrate, starts, substrate.num_vertices(), rng, cover);
+            substrate, starts, substrate.num_vertices(), rng, cover_run);
         return TrialOutcome{static_cast<double>(sample.steps), !sample.covered};
       },
       stationary_mc, &pool);
@@ -155,11 +165,11 @@ ExperimentResult run_mwg_starts_on_substrate(const CsrSubstrate& substrate,
   McOptions uniform_mc = mc;
   uniform_mc.seed = mix64(seed ^ 0x3a33ULL);
   const McResult uniform = run_monte_carlo(
-      [substrate, k, cover, n](std::uint64_t, Rng& rng) {
+      [substrate, k, cover_run, n](std::uint64_t, Rng& rng) {
         std::vector<Vertex> starts(k);
         for (Vertex& s : starts) s = rng.uniform_below_wide(n);
         const CoverSample sample = sample_cover_to_target(
-            substrate, starts, substrate.num_vertices(), rng, cover);
+            substrate, starts, substrate.num_vertices(), rng, cover_run);
         return TrialOutcome{static_cast<double>(sample.steps), !sample.covered};
       },
       uniform_mc, &pool);
@@ -188,6 +198,7 @@ ExperimentResult run_mwg_starts_on_substrate(const CsrSubstrate& substrate,
   push_param(result, "graph", source);
   push_param(result, "start", static_cast<std::uint64_t>(start));
   push_param(result, "k", static_cast<std::uint64_t>(k));
+  push_parallelism_params(result, cover_run, mc.max_trials, k, pool.size());
   result.preamble.push_back(substrate_preamble(substrate, source));
   result.tables.push_back(std::move(table));
   result.notes = {
@@ -206,13 +217,14 @@ void register_mwg_experiments(ExperimentRegistry& registry) {
                 "Thms 6/8/18 machinery on stored graphs",
                 /*default_seed=*/51,
                 {ExtraParam::kGraph, ExtraParam::kKmax, ExtraParam::kTarget,
-                 ExtraParam::kStart}},
+                 ExtraParam::kStart, ExtraParam::kLaneShards}},
                run_mwg_speedup);
   registry.add({"mwg-starts",
                 "stored .mwg graph via mmap: C^k by start placement",
                 "§1.1 / Lemma 19 setting on stored graphs",
                 /*default_seed=*/52,
-                {ExtraParam::kGraph, ExtraParam::kK, ExtraParam::kStart}},
+                {ExtraParam::kGraph, ExtraParam::kK, ExtraParam::kStart,
+                 ExtraParam::kLaneShards}},
                run_mwg_starts);
 }
 

@@ -31,7 +31,14 @@ struct ExperimentParams {
   /// Master seed, used verbatim (0 included). The CLI driver initializes it
   /// from ExperimentInfo::default_seed before parsing --seed.
   std::uint64_t seed = 0;
-  unsigned threads = 0;      ///< worker threads (0 = hardware)
+  /// Worker threads. The driver resolves 0 to default_thread_count() BEFORE
+  /// invoking the runner (the one place "--threads 0 = hardware" is
+  /// decided), so runners and sinks always see the real count.
+  unsigned threads = 0;
+  /// Lane shards per cover trial (determinism contract v3): 0 = let the
+  /// thread-budget policy decide, >= 1 pins CoverOptions::lane_shards. Only
+  /// experiments declaring ExtraParam::kLaneShards expose the flag.
+  unsigned lane_shards = 0;
   // Extra knobs only some experiments declare (see ExperimentInfo::extras):
   std::uint64_t k = 0;    ///< number of walks (fig_start_placement)
   std::uint64_t kmax = 0; ///< largest k in a sweep (fig_cycle_speedup)
@@ -44,7 +51,7 @@ struct ExperimentParams {
 /// Non-shared parameters an experiment additionally accepts; the driver
 /// only exposes the matching --k/--kmax/--ck/--target/--start/--graph
 /// flags when declared.
-enum class ExtraParam { kK, kKmax, kCk, kTarget, kStart, kGraph };
+enum class ExtraParam { kK, kKmax, kCk, kTarget, kStart, kGraph, kLaneShards };
 
 struct ExperimentInfo {
   std::string name;     ///< CLI name, e.g. "fig_cycle_speedup"

@@ -10,24 +10,32 @@ namespace manywalks {
 
 McResult estimate_cover_time(const Graph& g, Vertex start, const McOptions& mc,
                              const CoverOptions& cover, ThreadPool* pool) {
+  McOptions mc_planned = mc;
+  CoverOptions cover_planned = cover;
+  apply_thread_budget(1, pool, mc_planned, cover_planned);
   return run_monte_carlo(
-      [&g, start, &cover](std::uint64_t, Rng& rng) {
-        const CoverSample sample = sample_cover_time(g, start, rng, cover);
+      [&g, start, cover_planned](std::uint64_t, Rng& rng) {
+        const CoverSample sample =
+            sample_cover_time(g, start, rng, cover_planned);
         return TrialOutcome{static_cast<double>(sample.steps), !sample.covered};
       },
-      mc, pool);
+      mc_planned, pool);
 }
 
 McResult estimate_k_cover_time(const Graph& g, Vertex start, unsigned k,
                                const McOptions& mc, const CoverOptions& cover,
                                ThreadPool* pool) {
   MW_REQUIRE(k >= 1, "k must be >= 1");
+  McOptions mc_planned = mc;
+  CoverOptions cover_planned = cover;
+  apply_thread_budget(k, pool, mc_planned, cover_planned);
   return run_monte_carlo(
-      [&g, start, k, &cover](std::uint64_t, Rng& rng) {
-        const CoverSample sample = sample_k_cover_time(g, start, k, rng, cover);
+      [&g, start, k, cover_planned](std::uint64_t, Rng& rng) {
+        const CoverSample sample =
+            sample_k_cover_time(g, start, k, rng, cover_planned);
         return TrialOutcome{static_cast<double>(sample.steps), !sample.covered};
       },
-      mc, pool);
+      mc_planned, pool);
 }
 
 McResult estimate_multi_cover_time(const Graph& g,
@@ -36,13 +44,16 @@ McResult estimate_multi_cover_time(const Graph& g,
                                    const CoverOptions& cover,
                                    ThreadPool* pool) {
   std::vector<Vertex> starts_copy(starts.begin(), starts.end());
+  McOptions mc_planned = mc;
+  CoverOptions cover_planned = cover;
+  apply_thread_budget(starts_copy.size(), pool, mc_planned, cover_planned);
   return run_monte_carlo(
-      [&g, starts_copy, &cover](std::uint64_t, Rng& rng) {
+      [&g, starts_copy, cover_planned](std::uint64_t, Rng& rng) {
         const CoverSample sample =
-            sample_multi_cover_time(g, starts_copy, rng, cover);
+            sample_multi_cover_time(g, starts_copy, rng, cover_planned);
         return TrialOutcome{static_cast<double>(sample.steps), !sample.covered};
       },
-      mc, pool);
+      mc_planned, pool);
 }
 
 McResult estimate_hitting_time(const Graph& g, Vertex from, Vertex to,
@@ -123,14 +134,17 @@ McResult estimate_stationary_start_cover(const Graph& g, unsigned k,
                                          const CoverOptions& cover,
                                          ThreadPool* pool) {
   MW_REQUIRE(k >= 1, "k must be >= 1");
+  McOptions mc_planned = mc;
+  CoverOptions cover_planned = cover;
+  apply_thread_budget(k, pool, mc_planned, cover_planned);
   return run_monte_carlo(
-      [&g, k, &cover](std::uint64_t, Rng& rng) {
+      [&g, k, cover_planned](std::uint64_t, Rng& rng) {
         const std::vector<Vertex> starts = sample_stationary_starts(g, k, rng);
         const CoverSample sample =
-            sample_multi_cover_time(g, starts, rng, cover);
+            sample_multi_cover_time(g, starts, rng, cover_planned);
         return TrialOutcome{static_cast<double>(sample.steps), !sample.covered};
       },
-      mc, pool);
+      mc_planned, pool);
 }
 
 SpeedupEstimate estimate_speedup(const Graph& g, Vertex start, unsigned k,

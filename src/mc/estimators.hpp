@@ -24,6 +24,28 @@
 
 namespace manywalks {
 
+/// The thread-budget arbitration applied by every cover estimator before it
+/// enters run_monte_carlo: decides once per estimate whether the pool fans
+/// out over trials (kTrials) or is handed down to the lane-sharded engine
+/// (kLanes), and writes the decision into the option COPIES the estimate
+/// will run with. An explicit CoverOptions::lane_shards pins lane mode;
+/// otherwise choose_parallelism decides from the trial budget, the lane
+/// count, and the pool width. Returns the decision so call sites can report
+/// it. The estimators own CoverOptions::shard_pool — it is overwritten here
+/// (pool under kLanes, null under kTrials); callers wanting manual control
+/// of the engine's pool should use the cover.hpp samplers directly.
+inline McParallelism apply_thread_budget(std::size_t lanes, ThreadPool* pool,
+                                         McOptions& mc, CoverOptions& cover) {
+  const unsigned pool_threads = pool != nullptr ? pool->size() : 0;
+  const McParallelism mode =
+      cover.lane_shards > 0
+          ? McParallelism::kLanes
+          : choose_parallelism(mc.max_trials, lanes, pool_threads);
+  mc.parallelism = mode;
+  cover.shard_pool = mode == McParallelism::kLanes ? pool : nullptr;
+  return mode;
+}
+
 /// Estimates the single-walk expected cover time C_start.
 McResult estimate_cover_time(const Graph& g, Vertex start,
                              const McOptions& mc, const CoverOptions& cover = {},
@@ -125,14 +147,17 @@ McResult estimate_cover_to_target(const S& substrate, Vertex start, unsigned k,
                                   const CoverOptions& cover = {},
                                   ThreadPool* pool = nullptr) {
   MW_REQUIRE(k >= 1, "k must be >= 1");
+  McOptions mc_planned = mc;
+  CoverOptions cover_planned = cover;
+  apply_thread_budget(k, pool, mc_planned, cover_planned);
   return run_monte_carlo(
-      [substrate, start, k, target, cover](std::uint64_t, Rng& rng) {
+      [substrate, start, k, target, cover_planned](std::uint64_t, Rng& rng) {
         std::vector<Vertex> starts(k, start);
         const CoverSample sample =
-            sample_cover_to_target(substrate, starts, target, rng, cover);
+            sample_cover_to_target(substrate, starts, target, rng, cover_planned);
         return TrialOutcome{static_cast<double>(sample.steps), !sample.covered};
       },
-      mc, pool);
+      mc_planned, pool);
 }
 
 template <Substrate S>

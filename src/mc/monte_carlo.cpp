@@ -6,8 +6,27 @@
 
 #include "util/check.hpp"
 #include "util/timer.hpp"
+#include "walk/cover_types.hpp"
 
 namespace manywalks {
+
+McParallelism choose_parallelism(std::uint64_t max_trials, std::size_t lanes,
+                                 unsigned pool_threads) noexcept {
+  // A team of one worker plus the caller gains as much from trial
+  // parallelism as from sharding, without any barrier; below that there is
+  // no team at all.
+  if (pool_threads <= 1) return McParallelism::kTrials;
+  // Enough trials to keep every executor busy for 2+ batches: the
+  // embarrassing parallelism wins.
+  if (max_trials >= 2ULL * (pool_threads + 1)) return McParallelism::kTrials;
+  // Few long trials: shard lanes if k warrants a real team.
+  if (auto_lane_shards(lanes) >= 2) return McParallelism::kLanes;
+  return McParallelism::kTrials;
+}
+
+const char* parallelism_name(McParallelism parallelism) noexcept {
+  return parallelism == McParallelism::kLanes ? "lanes" : "trials";
+}
 
 McResult run_monte_carlo(const TrialFn& trial, const McOptions& options,
                          ThreadPool* pool) {
@@ -18,8 +37,9 @@ McResult run_monte_carlo(const TrialFn& trial, const McOptions& options,
   MW_REQUIRE(options.target_rel_half_width > 0.0,
              "target_rel_half_width must be positive");
 
+  const bool lane_mode = options.parallelism == McParallelism::kLanes;
   std::unique_ptr<ThreadPool> local_pool;
-  if (pool == nullptr) {
+  if (pool == nullptr && !lane_mode) {
     local_pool = std::make_unique<ThreadPool>(options.threads);
     pool = local_pool.get();
   }
@@ -37,19 +57,31 @@ McResult run_monte_carlo(const TrialFn& trial, const McOptions& options,
     // budget). Cheap small-n trials would otherwise pay a full
     // parallel_for submit + condition-variable rendezvous per ~8 trials.
     const std::uint64_t floor_batch =
-        std::max<std::uint64_t>(2ULL * (pool->size() + 1), 8);
+        lane_mode ? 8
+                  : std::max<std::uint64_t>(2ULL * (pool->size() + 1), 8);
     const std::uint64_t want =
         done == 0 ? options.min_trials : std::max(floor_batch, done);
     const std::uint64_t batch = std::min(want, options.max_trials - done);
     batch_values.assign(batch, TrialOutcome{});
-    parallel_for(
-        *pool, 0, batch,
-        [&](std::uint64_t i) {
-          const std::uint64_t index = done + i;
-          Rng rng = make_trial_rng(options.seed, index);
-          batch_values[i] = trial(index, rng);
-        },
-        /*grain=*/1);
+    if (lane_mode) {
+      // Lane mode: the pool belongs to the sharded engine inside each
+      // trial; the trial loop itself stays on the caller. Same per-trial
+      // streams, same order — the estimate is bit-identical to kTrials.
+      for (std::uint64_t i = 0; i < batch; ++i) {
+        const std::uint64_t index = done + i;
+        Rng rng = make_trial_rng(options.seed, index);
+        batch_values[i] = trial(index, rng);
+      }
+    } else {
+      parallel_for(
+          *pool, 0, batch,
+          [&](std::uint64_t i) {
+            const std::uint64_t index = done + i;
+            Rng rng = make_trial_rng(options.seed, index);
+            batch_values[i] = trial(index, rng);
+          },
+          /*grain=*/1);
+    }
     // Index-ordered reduction keeps the result independent of scheduling
     // AND of batch boundaries: stats absorb trial 0, 1, 2, ... in order no
     // matter how the batches were cut.

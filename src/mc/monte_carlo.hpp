@@ -14,6 +14,31 @@
 
 namespace manywalks {
 
+/// Where one estimate spends its thread budget. Neither choice changes any
+/// estimated number: trials always reduce in index order under per-trial
+/// streams, and lane sharding is result-invariant (determinism contract
+/// v3) — the policy is purely about where the parallel speed-up comes from.
+enum class McParallelism : std::uint8_t {
+  /// Independent trials fan out across the pool (the classic mode); the
+  /// walk engine inside each trial stays serial.
+  kTrials,
+  /// Trials run one at a time on the calling thread and the pool is handed
+  /// DOWN to the sharded walk engine, which splits each trial's k lanes
+  /// across the team — the mode for few long trials (one giant cover run
+  /// saturates the machine instead of leaving it idle).
+  kLanes,
+};
+
+/// The thread-budget arbitration: many short trials keep trial-level
+/// parallelism (it already saturates the pool with zero synchronization);
+/// few long trials at large k hand the pool to the lane-sharded engine.
+/// Pure in its arguments, so call sites can report the decision.
+McParallelism choose_parallelism(std::uint64_t max_trials, std::size_t lanes,
+                                 unsigned pool_threads) noexcept;
+
+/// "trials" / "lanes" — the sink-metadata spelling of the policy decision.
+const char* parallelism_name(McParallelism parallelism) noexcept;
+
 struct McOptions {
   std::uint64_t min_trials = 16;
   std::uint64_t max_trials = 512;
@@ -25,6 +50,12 @@ struct McOptions {
   /// Worker threads; 0 = hardware concurrency. Only used when no external
   /// pool is supplied.
   unsigned threads = 0;
+  /// Thread-budget mode (normally set by the estimators via
+  /// apply_thread_budget, not by hand). Under kLanes the trial loop runs
+  /// sequentially on the caller — same trial streams, same index-ordered
+  /// reduction, bit-identical estimate — and the pool flows to the engine
+  /// through CoverOptions::shard_pool instead.
+  McParallelism parallelism = McParallelism::kTrials;
 };
 
 struct McResult {

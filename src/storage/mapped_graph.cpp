@@ -124,6 +124,11 @@ MappedGraph::MappedGraph(const std::string& path, Validate validate)
                    << max_deg << "]");
 
     if (validate == Validate::kDeep) {
+      // The deep scan walks the whole adjacency region front to back; let
+      // the kernel read ahead aggressively for this one pass. The mapping
+      // is flipped to POSIX_MADV_RANDOM below either way (the walk hot
+      // path touches arcs in random order), so this only shapes the scan.
+      ::posix_madvise(base_, mapped_bytes_, POSIX_MADV_SEQUENTIAL);
       std::uint64_t loops = 0;
       for (std::uint64_t v = 0; v < n; ++v) {
         for (std::uint64_t a = offsets_[v]; a < offsets_[v + 1]; ++a) {

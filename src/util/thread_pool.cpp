@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <utility>
@@ -108,8 +109,13 @@ void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
   };
 
   // The calling thread participates too, so a pool of size 1 still makes
-  // progress even if all workers are busy with unrelated tasks.
-  const unsigned helpers = pool.size();
+  // progress even if all workers are busy with unrelated tasks. Helpers are
+  // capped at chunks-1: with C grain-sized chunks there are at most C
+  // executors worth of work, and the caller claims one share, so submitting
+  // more tasks than that only queues wakeups that find the cursor drained.
+  const std::uint64_t chunks = (end - begin + grain - 1) / grain;
+  const unsigned helpers = static_cast<unsigned>(
+      std::min<std::uint64_t>(pool.size(), chunks - 1));
   unsigned done = 0;
   std::mutex done_mutex;
   std::condition_variable done_cv;
@@ -131,6 +137,79 @@ void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
     done_cv.wait(lock, [&] { return done == helpers; });
   }
   if (first_error->load()) std::rethrow_exception(*error);
+}
+
+void parallel_for_static(ThreadPool& pool, std::uint64_t count,
+                         const std::function<void(std::uint64_t)>& body) {
+  if (count == 0) return;
+  // P executors (caller + helpers); executor p owns the contiguous chunk
+  // [p*count/P, (p+1)*count/P) — a pure function of (count, pool.size()).
+  const auto executors =
+      static_cast<std::uint64_t>(std::min<std::uint64_t>(pool.size() + 1, count));
+  const auto chunk_begin = [count, executors](std::uint64_t p) {
+    return p * count / executors;
+  };
+
+  std::vector<std::exception_ptr> errors(executors);
+  const auto run_chunk = [&body, &errors, chunk_begin](std::uint64_t p,
+                                                       std::uint64_t end) {
+    try {
+      for (std::uint64_t i = chunk_begin(p); i < end; ++i) body(i);
+    } catch (...) {
+      errors[p] = std::current_exception();
+    }
+  };
+
+  unsigned done = 0;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  for (std::uint64_t p = 1; p < executors; ++p) {
+    pool.submit([&run_chunk, &done, &done_mutex, &done_cv, chunk_begin, p] {
+      run_chunk(p, chunk_begin(p + 1));
+      // Notify under the lock: the caller's stack owns done/done_cv (see
+      // parallel_for for the destruction race this avoids).
+      std::lock_guard lock(done_mutex);
+      ++done;
+      done_cv.notify_one();
+    });
+  }
+  run_chunk(0, chunk_begin(1));
+  {
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(lock, [&] { return done == executors - 1; });
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+SpinBarrier::SpinBarrier(unsigned participants) : participants_(participants) {
+  MW_REQUIRE(participants >= 1, "SpinBarrier needs at least one participant");
+}
+
+bool SpinBarrier::arrive_and_wait() noexcept {
+  if (poisoned_.load(std::memory_order_acquire)) return false;
+  const std::uint32_t gen = generation_.load(std::memory_order_acquire);
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants_) {
+    // Last arrival: reset the count for the next generation, then flip the
+    // generation to release everyone spinning on it.
+    arrived_.store(0, std::memory_order_relaxed);
+    generation_.store(gen + 1, std::memory_order_release);
+    return !poisoned_.load(std::memory_order_acquire);
+  }
+  unsigned spins = 0;
+  while (generation_.load(std::memory_order_acquire) == gen) {
+    if (poisoned_.load(std::memory_order_acquire)) return false;
+    if (++spins >= 1024) {
+      spins = 0;
+      std::this_thread::yield();
+    }
+  }
+  return !poisoned_.load(std::memory_order_acquire);
+}
+
+void SpinBarrier::poison() noexcept {
+  poisoned_.store(true, std::memory_order_release);
 }
 
 }  // namespace manywalks

@@ -5,6 +5,7 @@
 // so the pool itself can hand out work dynamically for load balance.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -54,10 +55,61 @@ class ThreadPool {
 /// Runs `body(i)` for every i in [begin, end) across the pool, blocking the
 /// caller until all iterations finish. Work is pulled dynamically in chunks
 /// of `grain` for load balance; exceptions from the body propagate to the
-/// caller (the first one observed).
+/// caller (the first one observed). Never submits more helper tasks than
+/// there are grain-sized chunks beyond the caller's own share, so a short
+/// range does not flood the queue with tasks that wake up to no work.
 void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
                   const std::function<void(std::uint64_t)>& body,
                   std::uint64_t grain = 1);
+
+/// Deterministic static partition: runs `body(i)` for every i in
+/// [0, count), cutting the range into at most pool.size()+1 contiguous
+/// chunks, each executed in index order by one fixed executor (the caller
+/// runs chunk 0). Unlike parallel_for there is no dynamic work stealing:
+/// which indices share an executor is a pure function of (count,
+/// pool.size()), which is what the sharded walk engine needs to pin one
+/// long-lived worker per lane shard. Exceptions from the body propagate to
+/// the caller (the first one in chunk order).
+void parallel_for_static(ThreadPool& pool, std::uint64_t count,
+                         const std::function<void(std::uint64_t)>& body);
+
+/// A sense-reversing spin barrier for a fixed set of participants.
+///
+/// The sharded walk engine synchronizes its worker team once per walk
+/// round; a condition-variable rendezvous costs ~10µs per round, which
+/// would swallow the speed-up on the ~µs rounds the strong-scaling gate
+/// measures. Spinning participants re-check an acquire-loaded generation
+/// counter (yielding periodically), so a round barrier costs well under a
+/// microsecond when the team is running.
+///
+/// poison() aborts the protocol: every current and future arrive_and_wait()
+/// returns false without waiting, so a worker that failed can release the
+/// rest of the team instead of deadlocking it. A poisoned barrier stays
+/// poisoned.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(unsigned participants);
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until all participants arrive (or the barrier is poisoned).
+  /// Returns true on a normal rendezvous, false once poisoned. Establishes
+  /// acquire/release ordering: writes made by any participant before
+  /// arriving are visible to every participant after the barrier.
+  bool arrive_and_wait() noexcept;
+
+  /// Releases all waiters, now and forever, with a false return.
+  void poison() noexcept;
+
+  unsigned participants() const noexcept { return participants_; }
+
+ private:
+  const unsigned participants_;
+  std::atomic<unsigned> arrived_{0};
+  std::atomic<std::uint32_t> generation_{0};
+  std::atomic<bool> poisoned_{false};
+};
 
 /// Number of worker threads to use by default (hardware concurrency,
 /// clamped to at least 1).

@@ -4,10 +4,13 @@
 // cycle.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 
 namespace manywalks {
+
+class ThreadPool;  // util/thread_pool.hpp
 
 /// How the engine turns the caller's Rng into per-step randomness
 /// (determinism contract v2, docs/ARCHITECTURE.md "RNG scheme").
@@ -32,6 +35,28 @@ enum class RngMode : std::uint8_t {
   kLane,
 };
 
+/// Which ShardVisitTracker model the sharded round driver commits through
+/// (determinism contract v3). Both produce byte-identical results; the
+/// choice is purely a performance/contention trade.
+enum class ShardTrackerKind : std::uint8_t {
+  /// Per-shard private bitmaps + index-ordered merge-on-demand
+  /// (ShardedVisitTracker) — the default: shards share no mutable words.
+  kSharded,
+  /// One shared relaxed-atomic bitmap (AtomicVisitTracker): exact counts
+  /// every round, no merge pass, contended fetch_or on hot words.
+  kAtomic,
+};
+
+/// The automatic shard count for a k-lane trial: a pure function of k (and
+/// nothing else — NOT the thread count, NOT the pool size), so the shard
+/// cut and therefore every result is invariant under --threads
+/// (determinism contract v3). One shard per 256 lanes keeps per-shard
+/// rounds long enough to amortize the round barrier; 32 caps the merge
+/// width and the S·n/8-byte shard scratch.
+constexpr unsigned auto_lane_shards(std::size_t lanes) noexcept {
+  return std::clamp<unsigned>(static_cast<unsigned>(lanes / 256), 1u, 32u);
+}
+
 struct CoverOptions {
   /// Probability of a token staying put each step (0 = simple walk).
   double laziness = 0.0;
@@ -41,6 +66,18 @@ struct CoverOptions {
   /// Layer-resolved (see RngMode::kDefault): legacy at the raw engine,
   /// lane in every sampler above it.
   RngMode rng_mode = RngMode::kDefault;
+  /// Lane-sharding plan (determinism contract v3; lane mode only). 0 with
+  /// a null shard_pool = serial unsharded (the status quo); 0 with a pool
+  /// = auto_lane_shards(k); >= 1 pins the shard count (1 still routes
+  /// through the sharded driver — the golden-test configuration). The
+  /// RESULT is identical in every case; only the schedule changes.
+  unsigned lane_shards = 0;
+  /// Worker team for the sharded round driver: the engine runs shards on
+  /// min(shard_pool->size()+1, shards) executors (the calling thread
+  /// participates). Null = shards run inline on the caller. Not owned.
+  ThreadPool* shard_pool = nullptr;
+  /// Tracker model for sharded commits (see ShardTrackerKind).
+  ShardTrackerKind shard_tracker = ShardTrackerKind::kSharded;
 };
 
 /// CoverOptions with lane mode requested explicitly — the spelled-out form

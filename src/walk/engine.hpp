@@ -38,6 +38,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -46,6 +47,7 @@
 #include "util/check.hpp"
 #include "util/prefetch.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "walk/cover_types.hpp"
 #include "walk/visit_tracker.hpp"
 
@@ -356,6 +358,15 @@ class WalkEngineT {
     if (options.rng_mode == RngMode::kLane) {
       if (options.step_cap == 0) return sample;  // no rounds, no draws
       ensure_lanes(rng);
+      if (const unsigned shards = resolved_lane_shards(options); shards > 0) {
+        // Determinism contract v3: the sharded driver is byte-identical to
+        // the serial lane path for every shard/thread count (lane
+        // trajectories are pure functions of the per-token streams and the
+        // visited set is a schedule-invariant union).
+        return options.laziness > 0.0
+                   ? run_until_visited_sharded<true>(target, options, shards)
+                   : run_until_visited_sharded<false>(target, options, shards);
+      }
       return options.laziness > 0.0
                  ? run_until_visited_lane<true>(target, options)
                  : run_until_visited_lane<false>(target, options);
@@ -494,6 +505,318 @@ class WalkEngineT {
     }
   }
 
+  // --- sharded round driver (determinism contract v3) -----------------------
+  //
+  // Lanes are cut into `shards` contiguous blocks, shard s = lanes
+  // [s·k/S, (s+1)·k/S) — a pure function of (k, S), and S itself is a pure
+  // function of the CoverOptions plan (never of the pool size), so the
+  // schedule assigns the SAME lanes the SAME streams for every thread
+  // count. Each round, every shard advances its lanes with the serial lane
+  // kernels (plain trackers) or a stream-identical generic advance (atomic
+  // tracker); the round barrier then publishes the per-shard counts and
+  // every worker replicates the cover decision from shared state, so all
+  // of them take the same branch without a coordinator.
+
+  /// First lane of shard s when k lanes split into `shards` blocks.
+  static std::size_t shard_lane_begin(std::size_t k, unsigned shards,
+                                      unsigned s) {
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(s) * k /
+                                    shards);
+  }
+
+  /// The shard count this run uses; 0 = stay on the serial lane path.
+  /// Explicit lane_shards is honored verbatim (clamped to k; 1 still
+  /// exercises the sharded driver — the golden-test configuration);
+  /// automatic sharding engages only when a team pool was supplied and k
+  /// warrants >= 2 shards. The count is never derived from the pool SIZE
+  /// (contract v3's thread-invariance), though sharding never changes
+  /// results either way.
+  unsigned resolved_lane_shards(const CoverOptions& options) const {
+    const std::size_t k = tokens_.size();
+    unsigned shards = options.lane_shards;
+    if (shards == 0) {
+      if (options.shard_pool == nullptr) return 0;
+      shards = auto_lane_shards(k);
+      if (shards <= 1) return 0;  // one shard = the serial path, minus merge
+    }
+    return static_cast<unsigned>(std::min<std::size_t>(shards, k));
+  }
+
+  /// The lane draw policy WITHOUT a round kernel attached: every branch
+  /// consumes exactly the draws of lane_neighbor_index(rng, degree) (the
+  /// same dispatch with_lane_round resolves), so the atomic tracker's
+  /// generic per-lane advance stays stream-identical to the pipelined
+  /// kernels on every substrate.
+  template <class Body>
+  static auto with_any_lane_draw(const S& substrate, Body&& body) {
+    if constexpr (ArcAddressableSubstrate<S>) {
+      const auto stride =
+          static_cast<std::uint64_t>(substrate.regular_stride());
+      if (stride != 0) {
+        return with_hoisted_draw(static_cast<std::uint32_t>(stride),
+                                 std::forward<Body>(body));
+      }
+      return body(detail::LanePerVertexDraw{});
+    } else {
+      return with_lane_draw(substrate, std::forward<Body>(body));
+    }
+  }
+
+  ShardedVisitTracker& ensure_sharded_scratch(unsigned shards) {
+    if (sharded_scratch_ == nullptr ||
+        sharded_scratch_->num_shards() != shards) {
+      sharded_scratch_ =
+          std::make_unique<ShardedVisitTracker>(num_vertices_, shards);
+    }
+    return *sharded_scratch_;
+  }
+
+  AtomicVisitTracker& ensure_atomic_scratch(unsigned shards) {
+    if (atomic_scratch_ == nullptr || atomic_scratch_->num_shards() != shards) {
+      atomic_scratch_ =
+          std::make_unique<AtomicVisitTracker>(num_vertices_, shards);
+    }
+    return *atomic_scratch_;
+  }
+
+  template <bool kLazy>
+  CoverSample run_until_visited_sharded(Vertex target,
+                                        const CoverOptions& options,
+                                        unsigned shards) {
+    if (options.shard_tracker == ShardTrackerKind::kAtomic) {
+      return run_until_visited_sharded_atomic<kLazy>(target, options, shards);
+    }
+    return run_until_visited_sharded_plain<kLazy>(target, options, shards);
+  }
+
+  /// One round of shard s through the relaxed-atomic tracker: a generic
+  /// per-lane advance (draws identical to the lane kernels — see
+  /// with_any_lane_draw) committing via fetch_or.
+  template <bool kLazy>
+  void atomic_shard_round(const S& substrate, Vertex* toks, Rng* rngs,
+                          std::size_t lane_begin, std::size_t lane_end,
+                          [[maybe_unused]] double laziness,
+                          AtomicVisitTracker& trk, unsigned s) {
+    with_any_lane_draw(substrate, [&](auto draw) {
+      for (std::size_t i = lane_begin; i < lane_end; ++i) {
+        Vertex v = toks[i];
+        if constexpr (kLazy) {
+          if (rngs[i].uniform01() < laziness) {
+            trk.visit(s, v);
+            continue;
+          }
+        }
+        v = substrate.neighbor(v, draw(rngs[i], substrate, v));
+        toks[i] = v;
+        trk.visit(s, v);
+      }
+    });
+  }
+
+  /// Shared scaffold of both sharded drivers: builds the worker team
+  /// (caller + at most team-1 pool workers, pinned to contiguous shard
+  /// blocks via parallel_for_static), runs the replicated-control worker
+  /// loop, and propagates the first worker exception (the barrier is
+  /// poisoned on failure so the rest of the team exits instead of
+  /// deadlocking).
+  template <class Worker>
+  static void run_shard_team(ThreadPool* pool, unsigned team,
+                             std::vector<std::exception_ptr>& errors,
+                             const Worker& worker) {
+    if (team == 1) {
+      worker(0);
+    } else {
+      parallel_for_static(*pool, team, worker);
+    }
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+  }
+
+  template <bool kLazy>
+  CoverSample run_until_visited_sharded_plain(Vertex target,
+                                              const CoverOptions& options,
+                                              unsigned shards) {
+    ShardedVisitTracker& trk = ensure_sharded_scratch(shards);
+    trk.reset();
+    trk.seed_merged(tracker_.words(), tracker_.num_visited());
+
+    const S substrate = substrate_;
+    Vertex* const toks = tokens_.data();
+    Rng* const rngs = lane_rngs_.data();
+    const std::size_t k = tokens_.size();
+    const double laziness = options.laziness;
+    const std::size_t wps = trk.words_per_shard();
+
+    ThreadPool* const pool = options.shard_pool;
+    const auto team =
+        pool == nullptr
+            ? 1u
+            : static_cast<unsigned>(
+                  std::min<std::uint64_t>(pool->size() + 1, shards));
+
+    SpinBarrier barrier(team);
+    std::vector<Vertex> partials(team, 0);
+    std::vector<std::exception_ptr> errors(team);
+    struct WorkerResult {
+      std::uint64_t steps = 0;
+      std::uint64_t visited = 0;
+      bool covered = false;
+    };
+    std::vector<WorkerResult> results(team);
+
+    const auto worker = [&](std::uint64_t w) {
+      try {
+        const auto shard_begin = static_cast<unsigned>(w * shards / team);
+        const auto shard_end = static_cast<unsigned>((w + 1) * shards / team);
+        const std::size_t word_begin = w * wps / team;
+        const std::size_t word_end = (w + 1) * wps / team;
+
+        // Replicated control: every branch below depends only on shared
+        // state that is final at the preceding barrier, so all workers
+        // agree without a coordinator.
+        std::uint64_t t = 0;
+        std::uint64_t exact = trk.merged_count();
+        bool covered = false;
+        while (t < options.step_cap) {
+          ++t;
+          const auto parity = static_cast<unsigned>(t & 1);
+          for (unsigned s = shard_begin; s < shard_end; ++s) {
+            const std::size_t lane_begin = shard_lane_begin(k, shards, s);
+            const std::size_t lane_end = shard_lane_begin(k, shards, s + 1);
+            Vertex shard_visited = trk.shard_visited(s);
+            with_lane_round<kLazy, false>(
+                substrate, toks + lane_begin, rngs + lane_begin,
+                lane_end - lane_begin, laziness, trk.shard_words(s),
+                shard_visited, nullptr, [](auto&& round) { round(); });
+            trk.set_shard_visited(s, shard_visited);
+            // Freeze this round's count BEFORE the barrier: the decision
+            // below must read parity-t data only, never live counters a
+            // fast worker is already bumping in round t+1.
+            trk.publish_shard(parity, s);
+          }
+          if (!barrier.arrive_and_wait()) return;
+          // The bound never undercounts the union, so a below-target bound
+          // proves the exact merge can be skipped this round; the final
+          // round always merges so the post-state is exact. Its inputs are
+          // the frozen parity-t deltas plus this worker's OWN replica of
+          // the exact count — no live shared state, so every worker takes
+          // the same branch (anything less desyncs the barrier pairing:
+          // the merge path arrives twice per round, the skip path once).
+          const bool final_round = t >= options.step_cap;
+          if (trk.upper_bound_visited(parity, exact) < target && !final_round) {
+            continue;
+          }
+          partials[w] = trk.merge_range(word_begin, word_end);
+          for (unsigned s = shard_begin; s < shard_end; ++s) {
+            trk.snapshot_shard(s);
+          }
+          if (!barrier.arrive_and_wait()) return;
+          std::uint64_t total = 0;
+          for (const Vertex partial : partials) total += partial;
+          exact = total;
+          // Tracker bookkeeping only (post-run state): during the run no
+          // peer reads merged_count_ — the replicated decision uses each
+          // worker's local `exact` replica of this same reduction.
+          if (w == 0) trk.set_merged_count(static_cast<Vertex>(total));
+          if (total >= target) {
+            covered = true;
+            break;
+          }
+        }
+        results[w] = {t, exact, covered};
+      } catch (...) {
+        errors[w] = std::current_exception();
+        barrier.poison();
+      }
+    };
+    run_shard_team(pool, team, errors, worker);
+
+    // Post-state identical to the serial path: the merged bitmap is the
+    // run's visited set (the final round always merged).
+    std::copy(trk.merged_words(), trk.merged_words() + wps, tracker_.words());
+    tracker_.set_num_visited(static_cast<Vertex>(results[0].visited));
+    CoverSample sample;
+    sample.covered = results[0].covered;
+    sample.steps = results[0].covered ? results[0].steps : options.step_cap;
+    return sample;
+  }
+
+  template <bool kLazy>
+  CoverSample run_until_visited_sharded_atomic(Vertex target,
+                                               const CoverOptions& options,
+                                               unsigned shards) {
+    AtomicVisitTracker& trk = ensure_atomic_scratch(shards);
+    trk.reset();
+    trk.seed(tracker_.words(), tracker_.num_visited());
+
+    const S substrate = substrate_;
+    Vertex* const toks = tokens_.data();
+    Rng* const rngs = lane_rngs_.data();
+    const std::size_t k = tokens_.size();
+    const double laziness = options.laziness;
+
+    ThreadPool* const pool = options.shard_pool;
+    const auto team =
+        pool == nullptr
+            ? 1u
+            : static_cast<unsigned>(
+                  std::min<std::uint64_t>(pool->size() + 1, shards));
+
+    SpinBarrier barrier(team);
+    std::vector<std::exception_ptr> errors(team);
+    struct WorkerResult {
+      std::uint64_t steps = 0;
+      std::uint64_t visited = 0;
+      bool covered = false;
+    };
+    std::vector<WorkerResult> results(team);
+
+    const auto worker = [&](std::uint64_t w) {
+      try {
+        const auto shard_begin = static_cast<unsigned>(w * shards / team);
+        const auto shard_end = static_cast<unsigned>((w + 1) * shards / team);
+        std::uint64_t t = 0;
+        std::uint64_t total = tracker_.num_visited();
+        bool covered = false;
+        while (t < options.step_cap) {
+          ++t;
+          const auto parity = static_cast<unsigned>(t & 1);
+          for (unsigned s = shard_begin; s < shard_end; ++s) {
+            atomic_shard_round<kLazy>(substrate, toks, rngs,
+                                      shard_lane_begin(k, shards, s),
+                                      shard_lane_begin(k, shards, s + 1),
+                                      laziness, trk, s);
+            trk.publish_shard(parity, s);
+          }
+          if (!barrier.arrive_and_wait()) return;
+          // One winner per bit makes the published count sum exact every
+          // round — no merge pass; the frozen parity-t buffer (never the
+          // live counters a fast worker is already bumping in round t+1)
+          // is what every worker reads, so all of them take the same
+          // branch.
+          total = trk.published_total(parity);
+          if (total >= target) {
+            covered = true;
+            break;
+          }
+        }
+        results[w] = {t, total, covered};
+      } catch (...) {
+        errors[w] = std::current_exception();
+        barrier.poison();
+      }
+    };
+    run_shard_team(pool, team, errors, worker);
+
+    trk.copy_words_to(tracker_.words());
+    tracker_.set_num_visited(static_cast<Vertex>(results[0].visited));
+    CoverSample sample;
+    sample.covered = results[0].covered;
+    sample.steps = results[0].covered ? results[0].steps : options.step_cap;
+    return sample;
+  }
+
   template <bool kLazy>
   CoverSample run_until_visited_lane(Vertex target,
                                      const CoverOptions& options) {
@@ -614,6 +937,11 @@ class WalkEngineT {
   WordVisitTracker tracker_;
   LaneRngs lane_rngs_;
   bool lanes_seeded_ = false;
+  // Sharded-run scratch, cached across trials (a Monte-Carlo estimate
+  // reruns the same (n, shards) thousands of times; reset() is an O(S·n/64)
+  // fill, reallocation is not).
+  std::unique_ptr<ShardedVisitTracker> sharded_scratch_;
+  std::unique_ptr<AtomicVisitTracker> atomic_scratch_;
 };
 
 // The instantiations every caller uses live in engine.cpp; a custom

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "util/thread_pool.hpp"
 #include "walk/cover.hpp"
 #include "walk/visit_tracker.hpp"
 #include "walk/walker.hpp"
@@ -264,6 +266,149 @@ TEST(CoverSamplers, InterleavedGraphsStayDeterministic) {
     Rng rng_b = make_trial_rng(2, trial);
     EXPECT_EQ(sample_k_cover_time(b, 0, 3, rng_b).steps, lone_b[trial]);
   }
+}
+
+TEST(WalkEngine, ShardCountAndThreadCountAreInvisible) {
+  // Determinism contract v3: for a fixed seed, the sharded round driver
+  // must be BIT-identical to the serial lane path — same steps, same
+  // visited count, same visited set — for every shard count, with and
+  // without a worker team, for both tracker models.
+  constexpr std::uint64_t kMasterSeed = 0xc3ULL;
+  ThreadPool pool1(1);
+  ThreadPool pool3(3);
+  for (const auto& [name, g] : test_instances()) {
+    WalkEngine serial(g);
+    WalkEngine sharded(g);
+    const std::vector<Vertex> starts(16, 0);
+    const auto target = static_cast<Vertex>(g.num_vertices());
+    for (std::uint64_t trial = 0; trial < 8; ++trial) {
+      CoverOptions lane;
+      lane.rng_mode = RngMode::kLane;
+      Rng ref_rng = make_trial_rng(kMasterSeed, trial);
+      serial.reset(starts);
+      const CoverSample expected = serial.run_until_visited(target, ref_rng, lane);
+      for (const ShardTrackerKind kind :
+           {ShardTrackerKind::kSharded, ShardTrackerKind::kAtomic}) {
+        for (const unsigned shards : {1u, 2u, 8u}) {
+          for (ThreadPool* pool : {(ThreadPool*)nullptr, &pool1, &pool3}) {
+            CoverOptions opt = lane;
+            opt.lane_shards = shards;
+            opt.shard_pool = pool;
+            opt.shard_tracker = kind;
+            Rng rng = make_trial_rng(kMasterSeed, trial);
+            sharded.reset(starts);
+            const CoverSample actual = sharded.run_until_visited(target, rng, opt);
+            const char* kind_name =
+                kind == ShardTrackerKind::kSharded ? "sharded" : "atomic";
+            ASSERT_EQ(expected.steps, actual.steps)
+                << name << " trial=" << trial << " shards=" << shards
+                << " tracker=" << kind_name << " pool=" << (pool != nullptr);
+            ASSERT_EQ(expected.covered, actual.covered) << name;
+            ASSERT_EQ(serial.num_visited(), sharded.num_visited()) << name;
+            for (Vertex v = 0; v < g.num_vertices(); ++v) {
+              ASSERT_EQ(serial.visited(v), sharded.visited(v))
+                  << name << " v=" << v << " shards=" << shards;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(WalkEngine, ShardedPartialTargetsMatchSerial) {
+  // Partial-cover targets exercise the merge-on-demand bound: the sharded
+  // driver must stop at exactly the serial crossing round, never one late
+  // (a late stop means the cover decision diverged or the bound missed).
+  const Graph g = make_cycle(512);
+  WalkEngine serial(g);
+  WalkEngine sharded(g);
+  ThreadPool pool(2);
+  const std::vector<Vertex> starts(8, 0);
+  for (const Vertex target : {Vertex{9}, Vertex{64}, Vertex{256}}) {
+    for (std::uint64_t trial = 0; trial < 12; ++trial) {
+      CoverOptions lane;
+      lane.rng_mode = RngMode::kLane;
+      Rng ref_rng = make_trial_rng(0xeeULL, trial);
+      serial.reset(starts);
+      const CoverSample expected = serial.run_until_visited(target, ref_rng, lane);
+      CoverOptions opt = lane;
+      opt.lane_shards = 4;
+      opt.shard_pool = &pool;
+      Rng rng = make_trial_rng(0xeeULL, trial);
+      sharded.reset(starts);
+      const CoverSample actual = sharded.run_until_visited(target, rng, opt);
+      ASSERT_EQ(expected.steps, actual.steps)
+          << "target=" << target << " trial=" << trial;
+      ASSERT_EQ(serial.num_visited(), sharded.num_visited());
+    }
+  }
+}
+
+TEST(WalkEngine, ShardedStepCapTruncatesLikeSerial) {
+  const Graph g = make_cycle(1024);
+  ThreadPool pool(2);
+  WalkEngine engine(g);
+  const std::vector<Vertex> starts(4, 0);
+  CoverOptions opt;
+  opt.rng_mode = RngMode::kLane;
+  opt.step_cap = 10;
+  opt.lane_shards = 2;
+  opt.shard_pool = &pool;
+  Rng rng(5);
+  engine.reset(starts);
+  const CoverSample sample =
+      engine.run_until_visited(g.num_vertices(), rng, opt);
+  EXPECT_FALSE(sample.covered);
+  EXPECT_EQ(sample.steps, 10u);
+  // The capped run's visited set is still exact (the final round merges).
+  Vertex bits = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) bits += engine.visited(v);
+  EXPECT_EQ(bits, engine.num_visited());
+}
+
+TEST(WalkEngine, LaneAndSharedStreamDistributionsAgree) {
+  // The sharded lane path and the legacy shared-stream path draw from
+  // different streams, so their samples differ trial by trial — but they
+  // sample the SAME cover-time distribution. A two-sample mean test with a
+  // generous gate catches gross distributional drift (e.g. a shard losing
+  // or double-counting visits) without flaking.
+  const Graph g = make_margulis_expander(8);
+  ThreadPool pool(2);
+  WalkEngine engine(g);
+  const std::vector<Vertex> starts(8, 0);
+  const auto target = static_cast<Vertex>(g.num_vertices());
+  constexpr int kTrials = 300;
+  double sum_lane = 0, sum_legacy = 0, sq_lane = 0, sq_legacy = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    CoverOptions sharded;
+    sharded.rng_mode = RngMode::kLane;
+    sharded.lane_shards = 4;
+    sharded.shard_pool = &pool;
+    Rng rng_lane = make_trial_rng(0x10, trial);
+    engine.reset(starts);
+    const auto lane =
+        static_cast<double>(engine.run_until_visited(target, rng_lane, sharded).steps);
+    CoverOptions legacy;
+    legacy.rng_mode = RngMode::kSharedLegacy;
+    Rng rng_legacy = make_trial_rng(0x20, trial);
+    engine.reset(starts);
+    const auto shared =
+        static_cast<double>(engine.run_until_visited(target, rng_legacy, legacy).steps);
+    sum_lane += lane;
+    sum_legacy += shared;
+    sq_lane += lane * lane;
+    sq_legacy += shared * shared;
+  }
+  const double mean_lane = sum_lane / kTrials;
+  const double mean_legacy = sum_legacy / kTrials;
+  const double var_lane = sq_lane / kTrials - mean_lane * mean_lane;
+  const double var_legacy = sq_legacy / kTrials - mean_legacy * mean_legacy;
+  const double se = std::sqrt((var_lane + var_legacy) / kTrials);
+  // ~5.5 sigma two-sample z gate: false-positive odds are negligible while
+  // any systematic visit-accounting bug shifts the mean far beyond it.
+  EXPECT_LT(std::abs(mean_lane - mean_legacy), 5.5 * se + 1e-9)
+      << "lane mean " << mean_lane << " vs legacy mean " << mean_legacy;
 }
 
 TEST(WalkEngine, RejectsImpossibleTarget) {

@@ -21,6 +21,11 @@ hold. Generic tooling cannot know them, so this checker does:
                             accumulation changes results across compilers'
                             contraction choices and breaks cross-build
                             comparability of committed results.
+  manywalks-stray-atomic    std::atomic/std::atomic_ref/std::atomic_flag
+                            outside visit_tracker.hpp and thread_pool.* —
+                            shared mutable state anywhere else escapes the
+                            replicated-control protocol (determinism
+                            contract v3) and its TSan coverage.
 
 Escape hatch (clang-tidy style, rule name required so escapes stay
 auditable — see the inventory in docs/ARCHITECTURE.md):
@@ -319,11 +324,55 @@ class FloatStatisticsRule(Rule):
         return findings
 
 
+class StrayAtomicRule(Rule):
+    name = RULE_PREFIX + "stray-atomic"
+    description = (
+        "std::atomic / std::atomic_ref / std::atomic_flag outside "
+        "src/walk/visit_tracker.hpp and src/util/thread_pool.* — the "
+        "determinism contract v3 confines shared mutable state to the "
+        "tracker and the pool/barrier so every cross-thread interaction "
+        "stays inside the audited, TSan-covered replicated-control "
+        "protocol; ad-hoc atomics elsewhere reintroduce schedule-dependent "
+        "results"
+    )
+    EXEMPT = (
+        "src/walk/visit_tracker.hpp",
+        "src/util/thread_pool.hpp",
+        "src/util/thread_pool.cpp",
+    )
+    # `std::atomic<T>`, `std::atomic_flag`, `std::atomic_ref<T>`, the
+    # free-function forms (std::atomic_load etc.), and std::memory_order
+    # uses that would accompany them. Unqualified `atomic` is deliberately
+    # not matched: the repo style always qualifies std types, and plain
+    # `atomic` appears in comments/prose too often for a lexer-level rule.
+    PATTERN = re.compile(
+        r"\bstd\s*::\s*(atomic(?:_\w+)?)\b"
+    )
+
+    def check(self, src: SourceFile) -> list[Finding]:
+        if src.relpath in self.EXEMPT:
+            return []
+        findings = []
+        for lineno, match in _matches(self.PATTERN, src):
+            findings.append(
+                self._finding(
+                    src, lineno, match.start() + 1,
+                    f"'std::{match.group(1)}' outside visit_tracker.hpp/"
+                    "thread_pool.*: shared mutable state must live in the "
+                    "audited tracker/pool layer (determinism contract v3); "
+                    "route cross-thread communication through "
+                    "ShardVisitTracker or the SpinBarrier protocol",
+                )
+            )
+        return findings
+
+
 ALL_RULES: list[Rule] = [
     RawRngRule(),
     UnorderedIterationRule(),
     BareAssertRule(),
     FloatStatisticsRule(),
+    StrayAtomicRule(),
 ]
 
 

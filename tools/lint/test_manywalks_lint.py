@@ -186,6 +186,50 @@ class FloatStatisticsRuleTest(unittest.TestCase):
         self.assertNotIn("manywalks-float-stats", fired)
 
 
+class StrayAtomicRuleTest(unittest.TestCase):
+    def test_fires_on_std_atomic(self):
+        fired = rules_fired("std::atomic<std::uint64_t> hits{0};\n",
+                            relpath="src/mc/monte_carlo.cpp")
+        self.assertIn("manywalks-stray-atomic", fired)
+
+    def test_fires_on_atomic_flag_and_atomic_ref(self):
+        text = ("std::atomic_flag busy = ATOMIC_FLAG_INIT;\n"
+                "std::atomic_ref<int> ref(plain);\n")
+        fired = rules_fired(text, relpath="src/walk/engine.hpp")
+        self.assertIn("manywalks-stray-atomic", fired)
+
+    def test_fires_on_free_function_form(self):
+        fired = rules_fired("std::atomic_thread_fence("
+                            "std::memory_order_seq_cst);\n")
+        self.assertIn("manywalks-stray-atomic", fired)
+
+    def test_visit_tracker_is_exempt(self):
+        text = "std::atomic<std::uint64_t>* words_;\n"
+        self.assertEqual(
+            rules_fired(text, relpath="src/walk/visit_tracker.hpp"), set())
+
+    def test_thread_pool_is_exempt(self):
+        text = "std::atomic<unsigned> arrived_{0};\n"
+        for relpath in ("src/util/thread_pool.hpp",
+                        "src/util/thread_pool.cpp"):
+            self.assertEqual(rules_fired(text, relpath=relpath), set())
+
+    def test_quiet_on_the_fixed_form(self):
+        fixed = ("tracker.visit(shard, v);\n"
+                 "barrier.arrive_and_wait();\n")
+        self.assertEqual(rules_fired(fixed), set())
+
+    def test_quiet_on_mention_in_comment(self):
+        self.assertEqual(
+            rules_fired("// relaxed std::atomic would race here\nint x;\n"),
+            set())
+
+    def test_quiet_on_unqualified_identifier(self):
+        # Repo style always writes std::atomic; a local named `atomic_ops`
+        # or similar must not trip a lexer-level rule.
+        self.assertEqual(rules_fired("int atomic_ops = 0;\n"), set())
+
+
 class NolintEscapeTest(unittest.TestCase):
     def test_nolint_on_the_same_line_suppresses(self):
         text = "int r = rand();  // NOLINT(manywalks-raw-rng): legacy shim\n"
