@@ -124,6 +124,16 @@ int run_experiment_main(std::string_view name, int argc, char** argv) {
                       "lane shards per cover trial (0 = thread-budget "
                       "policy; any value yields identical results)");
   }
+  if (has_extra(info, ExtraParam::kBlockWalk)) {
+    parser.add_flag("block-walk", &params.block_walk,
+                    "out-of-core block-scheduled engine (needs an mwg v2 "
+                    "--graph; results identical to the in-core run)");
+  }
+  if (has_extra(info, ExtraParam::kMemBudget)) {
+    parser.add_option("mem-budget", &params.mem_budget,
+                      "resident-extent budget for --block-walk, e.g. 64M "
+                      "(default 256M; any budget yields identical results)");
+  }
   if (!parser.parse(argc, argv)) return 1;
   if (!parse_output_format(format_text, &sink.format)) {
     std::cerr << info.name << ": unknown --format '" << format_text

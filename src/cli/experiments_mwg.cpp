@@ -3,6 +3,12 @@
 // running the walk engine zero-copy off a memory-mapped mwg file. This is
 // how the k-walk results get measured on real-world graphs (SNAP dumps
 // via `manywalks graph convert`) instead of only the synthetic families.
+//
+// `--block-walk` switches both experiments to the out-of-core
+// block-scheduled engine (walk/block_engine.hpp) with an explicit
+// `--mem-budget`: the graph must be mwg v2, only its metadata stays
+// resident, and — determinism contract v4 — every number in the tables
+// is bit-identical to the in-core run at any budget.
 #include <algorithm>
 #include <cmath>
 #include <string>
@@ -11,7 +17,10 @@
 #include "cli/experiments_common.hpp"
 #include "cli/experiments_mwg.hpp"
 #include "mc/estimators.hpp"
+#include "storage/block_store.hpp"
 #include "storage/mapped_graph.hpp"
+#include "util/options.hpp"
+#include "walk/block_engine.hpp"
 #include "walk/sampling.hpp"
 
 namespace manywalks::cli {
@@ -42,8 +51,235 @@ MappedGraph open_mapped(const char* name, const ExperimentParams& params) {
   return MappedGraph(params.graph);
 }
 
+// --- shared table/notes builders (in-core and blocked paths emit the
+// same rows, which is how the v4 bit-identity contract stays visible in
+// the output, not just in the goldens) ---------------------------------
+
+ResultTable speedup_table(const std::string& source, Vertex start,
+                          Vertex target, Vertex n,
+                          const std::vector<SpeedupEstimate>& curve) {
+  ResultTable table("speedup",
+                    source + " — S^k from vertex " + format_count(start) +
+                        (target == n ? " (full cover)"
+                                     : ", rounds to visit " +
+                                           format_count(target) +
+                                           " distinct vertices"));
+  table.add_column("k")
+      .add_column("C^k")
+      .add_column("S^k")
+      .add_column("S^k / k")
+      .add_column("S^k / ln k");
+  for (const SpeedupEstimate& p : curve) {
+    table.begin_row();
+    table.count(p.k);
+    table.mean_pm(p.multi);
+    table.mean_pm(p);
+    table.real(p.speedup / p.k, 3);
+    if (p.k >= 2) {
+      table.real(p.speedup / std::log(static_cast<double>(p.k)), 3);
+    } else {
+      table.blank();
+    }
+  }
+  return table;
+}
+
+std::vector<std::string> speedup_notes() {
+  return {
+      "Conjectures 10/11 predict log k ≲ S^k ≲ k on ANY graph: the last "
+      "two columns bracket",
+      "where this graph falls between the cycle's Θ(log k) and the "
+      "expander's Θ(k) regimes."};
+}
+
+ResultTable starts_table(const std::string& source, unsigned k, Vertex start,
+                         const McResult& same, const McResult& stationary,
+                         const McResult& uniform) {
+  ResultTable table("starts", source + " — C^k (k = " + format_count(k) +
+                                  ") by start placement");
+  table.add_column("placement", /*left=*/true)
+      .add_column("C^k")
+      .add_column("vs same-vertex");
+  table.begin_row();
+  table.text("same-vertex (" + format_count(start) + ")");
+  table.mean_pm(same);
+  table.real(1.0, 3);
+  table.begin_row();
+  table.text("stationary");
+  table.mean_pm(stationary);
+  table.real(same.ci.mean / stationary.ci.mean, 3);
+  table.begin_row();
+  table.text("uniform");
+  table.mean_pm(uniform);
+  table.real(same.ci.mean / uniform.ci.mean, 3);
+  return table;
+}
+
+std::vector<std::string> starts_notes() {
+  return {
+      "Placement sensitivity locates the graph on the paper's map: "
+      "irrelevant on expanders",
+      "(walks disperse within t_mix), ~constant-factor on tori, decisive "
+      "around bottlenecks",
+      "(Thm 7's barbell center). Stationary starts are re-drawn per trial "
+      "(§1.1 setting)."};
+}
+
+// --- out-of-core (--block-walk) runners -------------------------------
+
+constexpr std::uint64_t kDefaultMemBudget = std::uint64_t{256} << 20;
+
+std::uint64_t resolve_mem_budget(const ExperimentParams& params) {
+  return params.mem_budget.empty() ? kDefaultMemBudget
+                                   : parse_byte_size(params.mem_budget);
+}
+
+BlockedGraph open_blocked(const char* name, const ExperimentParams& params) {
+  MW_REQUIRE(!params.graph.empty(),
+             name << " needs --graph=FILE.mwg (create one with `manywalks "
+                     "graph gen` or `manywalks graph convert`)");
+  return BlockedGraph(params.graph);
+}
+
+std::string blocked_preamble(const BlockedGraph& graph,
+                             const std::string& source,
+                             std::uint64_t budget) {
+  return "stored graph " + source + ": n = " +
+         format_count(graph.num_vertices()) + ", arcs = " +
+         format_count(graph.num_arcs()) + " — mwg v2, " +
+         format_count(graph.num_blocks()) + " blocks of 2^" +
+         std::to_string(graph.block_bits()) +
+         " vertices; block-scheduled out-of-core engine with a " +
+         format_count(budget) +
+         "-byte resident-extent budget (only graph metadata stays mapped). "
+         "Results are bit-identical to the in-core run at any budget "
+         "(determinism contract v4).";
+}
+
+std::string blocked_cache_note(const BlockWalkEngine& engine) {
+  const ExtentCache::Stats& cache = engine.cache_stats();
+  const BlockWalkEngine::Stats& run = engine.stats();
+  return "block engine: " + format_count(cache.loads) + " extent loads (" +
+         format_count(cache.hits) + " cache hits, " +
+         format_count(cache.evictions) + " evictions), " +
+         format_count(cache.bytes_loaded) + " bytes streamed across " +
+         format_count(run.horizons) + " horizons / " +
+         format_count(run.bucket_passes) + " bucket passes.";
+}
+
+ExperimentResult run_mwg_speedup_blocked(const ExperimentParams& params,
+                                         ThreadPool& pool) {
+  const BlockedGraph graph = open_blocked("mwg-speedup", params);
+  const std::uint64_t budget = resolve_mem_budget(params);
+  BlockWalkEngine engine(graph, budget);
+
+  const ExperimentPreset& preset = preset_for("mwg-speedup");
+  const std::uint64_t seed = params.seed;
+  const std::uint64_t trials = resolve_trials(preset, params);
+  const std::uint64_t k_limit =
+      checked_walk_count("mwg-speedup", resolve_kmax(preset, params));
+  const Vertex n = graph.num_vertices();
+  const Vertex start = checked_start("mwg-speedup", params, n);
+  const Vertex target = clamp_cover_target(resolve_target(preset, params), n);
+  const std::vector<unsigned> ks = geometric_ks(k_limit);
+
+  McOptions mc = preset_mc(trials);
+  mc.seed = mix64(seed ^ 0x3396a1ULL);
+  const std::vector<SpeedupEstimate> curve =
+      estimate_speedup_curve_to_target_blocked(engine, start, target, ks, mc,
+                                               lane_cover_options());
+
+  ExperimentResult result;
+  push_common_params(result, seed, params.full,
+                     static_cast<std::uint64_t>(n), trials, pool.size());
+  push_param(result, "graph", params.graph);
+  push_param(result, "start", static_cast<std::uint64_t>(start));
+  push_param(result, "kmax", k_limit);
+  push_param(result, "target", static_cast<std::uint64_t>(target));
+  push_param(result, "parallelism", std::string("blocked"));
+  push_param(result, "mem_budget", budget);
+  result.preamble.push_back(blocked_preamble(graph, params.graph, budget));
+  result.tables.push_back(speedup_table(params.graph, start, target, n, curve));
+  result.notes = speedup_notes();
+  result.notes.push_back(blocked_cache_note(engine));
+  return result;
+}
+
+ExperimentResult run_mwg_starts_blocked(const ExperimentParams& params,
+                                        ThreadPool& pool) {
+  const BlockedGraph graph = open_blocked("mwg-starts", params);
+  const std::uint64_t budget = resolve_mem_budget(params);
+  BlockWalkEngine engine(graph, budget);
+
+  const ExperimentPreset& preset = preset_for("mwg-starts");
+  const std::uint64_t seed = params.seed;
+  const std::uint64_t trials = resolve_trials(preset, params);
+  const auto k = static_cast<unsigned>(checked_walk_count(
+      "mwg-starts", std::max<std::uint64_t>(resolve_k(preset, params), 1)));
+  const Vertex n = graph.num_vertices();
+  const Vertex start = checked_start("mwg-starts", params, n);
+
+  // The shared engine forces serial trials (see
+  // estimate_cover_to_target_blocked); the raw run_monte_carlo calls
+  // below pin the same mode so all three placements reduce identically
+  // to the in-core path.
+  const CoverOptions cover_run = lane_cover_options();
+  McOptions mc = preset_mc(trials);
+  mc.parallelism = McParallelism::kLanes;
+
+  McOptions same_mc = mc;
+  same_mc.seed = mix64(seed ^ 0x3a11ULL);
+  const McResult same =
+      estimate_cover_to_target_blocked(engine, start, k, n, same_mc, cover_run);
+
+  const std::span<const std::uint64_t> offsets = graph.offsets();
+  McOptions stationary_mc = mc;
+  stationary_mc.seed = mix64(seed ^ 0x3a22ULL);
+  const McResult stationary = run_monte_carlo(
+      [&engine, offsets, k, cover_run, n](std::uint64_t, Rng& rng) {
+        std::vector<Vertex> starts(k);
+        for (Vertex& s : starts) {
+          s = sample_stationary_vertex_csr(offsets, rng);
+        }
+        engine.reset(starts);
+        const CoverSample sample = engine.run_until_visited(n, rng, cover_run);
+        return TrialOutcome{static_cast<double>(sample.steps), !sample.covered};
+      },
+      stationary_mc, nullptr);
+
+  McOptions uniform_mc = mc;
+  uniform_mc.seed = mix64(seed ^ 0x3a33ULL);
+  const McResult uniform = run_monte_carlo(
+      [&engine, k, cover_run, n](std::uint64_t, Rng& rng) {
+        std::vector<Vertex> starts(k);
+        for (Vertex& s : starts) s = rng.uniform_below_wide(n);
+        engine.reset(starts);
+        const CoverSample sample = engine.run_until_visited(n, rng, cover_run);
+        return TrialOutcome{static_cast<double>(sample.steps), !sample.covered};
+      },
+      uniform_mc, nullptr);
+
+  ExperimentResult result;
+  push_common_params(result, seed, params.full,
+                     static_cast<std::uint64_t>(n), trials, pool.size());
+  push_param(result, "graph", params.graph);
+  push_param(result, "start", static_cast<std::uint64_t>(start));
+  push_param(result, "k", static_cast<std::uint64_t>(k));
+  push_param(result, "parallelism", std::string("blocked"));
+  push_param(result, "mem_budget", budget);
+  result.preamble.push_back(blocked_preamble(graph, params.graph, budget));
+  result.tables.push_back(
+      starts_table(params.graph, k, start, same, stationary, uniform));
+  result.notes = starts_notes();
+  result.notes.push_back(blocked_cache_note(engine));
+  return result;
+}
+
 ExperimentResult run_mwg_speedup(const ExperimentParams& params,
                                  ThreadPool& pool) {
+  MW_REQUIRE(params.mem_budget.empty() || params.block_walk,
+             "--mem-budget only applies with --block-walk");
+  if (params.block_walk) return run_mwg_speedup_blocked(params, pool);
   const MappedGraph mapped = open_mapped("mwg-speedup", params);
   return run_mwg_speedup_on_substrate(mapped.substrate(), params.graph,
                                       params, pool, lane_cover_options());
@@ -51,6 +287,9 @@ ExperimentResult run_mwg_speedup(const ExperimentParams& params,
 
 ExperimentResult run_mwg_starts(const ExperimentParams& params,
                                 ThreadPool& pool) {
+  MW_REQUIRE(params.mem_budget.empty() || params.block_walk,
+             "--mem-budget only applies with --block-walk");
+  if (params.block_walk) return run_mwg_starts_blocked(params, pool);
   const MappedGraph mapped = open_mapped("mwg-starts", params);
   return run_mwg_starts_on_substrate(mapped.substrate(), params.graph, params,
                                      pool, lane_cover_options());
@@ -80,30 +319,6 @@ ExperimentResult run_mwg_speedup_on_substrate(const CsrSubstrate& substrate,
   const std::vector<SpeedupEstimate> curve = estimate_speedup_curve_to_target(
       substrate, start, target, ks, mc, cover_run, &pool);
 
-  ResultTable table("speedup",
-                    source + " — S^k from vertex " + format_count(start) +
-                        (target == n ? " (full cover)"
-                                     : ", rounds to visit " +
-                                           format_count(target) +
-                                           " distinct vertices"));
-  table.add_column("k")
-      .add_column("C^k")
-      .add_column("S^k")
-      .add_column("S^k / k")
-      .add_column("S^k / ln k");
-  for (const SpeedupEstimate& p : curve) {
-    table.begin_row();
-    table.count(p.k);
-    table.mean_pm(p.multi);
-    table.mean_pm(p);
-    table.real(p.speedup / p.k, 3);
-    if (p.k >= 2) {
-      table.real(p.speedup / std::log(static_cast<double>(p.k)), 3);
-    } else {
-      table.blank();
-    }
-  }
-
   ExperimentResult result;
   push_common_params(result, seed, params.full,
                      static_cast<std::uint64_t>(n), trials, pool.size());
@@ -114,12 +329,8 @@ ExperimentResult run_mwg_speedup_on_substrate(const CsrSubstrate& substrate,
   push_parallelism_params(result, cover_run, mc.max_trials, k_limit,
                           pool.size());
   result.preamble.push_back(substrate_preamble(substrate, source));
-  result.tables.push_back(std::move(table));
-  result.notes = {
-      "Conjectures 10/11 predict log k ≲ S^k ≲ k on ANY graph: the last "
-      "two columns bracket",
-      "where this graph falls between the cycle's Θ(log k) and the "
-      "expander's Θ(k) regimes."};
+  result.tables.push_back(speedup_table(source, start, target, n, curve));
+  result.notes = speedup_notes();
   return result;
 }
 
@@ -174,24 +385,6 @@ ExperimentResult run_mwg_starts_on_substrate(const CsrSubstrate& substrate,
       },
       uniform_mc, &pool);
 
-  ResultTable table("starts", source + " — C^k (k = " + format_count(k) +
-                                  ") by start placement");
-  table.add_column("placement", /*left=*/true)
-      .add_column("C^k")
-      .add_column("vs same-vertex");
-  table.begin_row();
-  table.text("same-vertex (" + format_count(start) + ")");
-  table.mean_pm(same);
-  table.real(1.0, 3);
-  table.begin_row();
-  table.text("stationary");
-  table.mean_pm(stationary);
-  table.real(same.ci.mean / stationary.ci.mean, 3);
-  table.begin_row();
-  table.text("uniform");
-  table.mean_pm(uniform);
-  table.real(same.ci.mean / uniform.ci.mean, 3);
-
   ExperimentResult result;
   push_common_params(result, seed, params.full,
                      static_cast<std::uint64_t>(n), trials, pool.size());
@@ -200,14 +393,9 @@ ExperimentResult run_mwg_starts_on_substrate(const CsrSubstrate& substrate,
   push_param(result, "k", static_cast<std::uint64_t>(k));
   push_parallelism_params(result, cover_run, mc.max_trials, k, pool.size());
   result.preamble.push_back(substrate_preamble(substrate, source));
-  result.tables.push_back(std::move(table));
-  result.notes = {
-      "Placement sensitivity locates the graph on the paper's map: "
-      "irrelevant on expanders",
-      "(walks disperse within t_mix), ~constant-factor on tori, decisive "
-      "around bottlenecks",
-      "(Thm 7's barbell center). Stationary starts are re-drawn per trial "
-      "(§1.1 setting)."};
+  result.tables.push_back(
+      starts_table(source, k, start, same, stationary, uniform));
+  result.notes = starts_notes();
   return result;
 }
 
@@ -217,14 +405,16 @@ void register_mwg_experiments(ExperimentRegistry& registry) {
                 "Thms 6/8/18 machinery on stored graphs",
                 /*default_seed=*/51,
                 {ExtraParam::kGraph, ExtraParam::kKmax, ExtraParam::kTarget,
-                 ExtraParam::kStart, ExtraParam::kLaneShards}},
+                 ExtraParam::kStart, ExtraParam::kLaneShards,
+                 ExtraParam::kBlockWalk, ExtraParam::kMemBudget}},
                run_mwg_speedup);
   registry.add({"mwg-starts",
                 "stored .mwg graph via mmap: C^k by start placement",
                 "§1.1 / Lemma 19 setting on stored graphs",
                 /*default_seed=*/52,
                 {ExtraParam::kGraph, ExtraParam::kK, ExtraParam::kStart,
-                 ExtraParam::kLaneShards}},
+                 ExtraParam::kLaneShards, ExtraParam::kBlockWalk,
+                 ExtraParam::kMemBudget}},
                run_mwg_starts);
 }
 

@@ -46,12 +46,27 @@ struct ExperimentParams {
   std::uint64_t target = 0;  ///< distinct-vertex coverage target (giant-*)
   std::uint64_t start = 0;   ///< start vertex on stored graphs (mwg-*)
   std::string graph;         ///< .mwg file to run on (mwg-*)
+  /// Out-of-core: run the block-scheduled engine instead of mapping the
+  /// whole CSR (needs an mwg v2 --graph), with an explicit resident-
+  /// extent budget (parse_byte_size syntax; empty = the runner default).
+  bool block_walk = false;
+  std::string mem_budget;
 };
 
 /// Non-shared parameters an experiment additionally accepts; the driver
 /// only exposes the matching --k/--kmax/--ck/--target/--start/--graph
 /// flags when declared.
-enum class ExtraParam { kK, kKmax, kCk, kTarget, kStart, kGraph, kLaneShards };
+enum class ExtraParam {
+  kK,
+  kKmax,
+  kCk,
+  kTarget,
+  kStart,
+  kGraph,
+  kLaneShards,
+  kBlockWalk,
+  kMemBudget,
+};
 
 struct ExperimentInfo {
   std::string name;     ///< CLI name, e.g. "fig_cycle_speedup"

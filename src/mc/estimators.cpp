@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "util/check.hpp"
+#include "walk/block_engine.hpp"
 #include "walk/sampling.hpp"
 
 namespace manywalks {
@@ -164,6 +165,64 @@ std::vector<SpeedupEstimate> estimate_speedup_curve(
   return estimate_speedup_curve_to_target(CsrSubstrate(g), start,
                                           g.num_vertices(), ks, mc, cover,
                                           pool);
+}
+
+McResult estimate_cover_to_target_blocked(BlockWalkEngine& engine,
+                                          Vertex start, unsigned k,
+                                          Vertex target, const McOptions& mc,
+                                          const CoverOptions& cover) {
+  MW_REQUIRE(k >= 1, "k must be >= 1");
+  // The engine (and its extent cache) is shared across trials, so the
+  // trial loop must stay on the caller: kLanes with no pool is
+  // run_monte_carlo's serial index-ordered loop — the same per-trial
+  // streams and reduction order as every other mode, so the estimate is
+  // bit-identical to the in-core path.
+  McOptions mc_serial = mc;
+  mc_serial.parallelism = McParallelism::kLanes;
+  CoverOptions cover_run = resolve_sampler_mode(cover);
+  cover_run.lane_shards = 0;
+  cover_run.shard_pool = nullptr;
+  return run_monte_carlo(
+      [&engine, start, k, target, cover_run](std::uint64_t, Rng& rng) {
+        const std::vector<Vertex> starts(static_cast<std::size_t>(k), start);
+        engine.reset(starts);
+        const CoverSample sample =
+            engine.run_until_visited(target, rng, cover_run);
+        return TrialOutcome{static_cast<double>(sample.steps), !sample.covered};
+      },
+      mc_serial, nullptr);
+}
+
+std::vector<SpeedupEstimate> estimate_speedup_curve_to_target_blocked(
+    BlockWalkEngine& engine, Vertex start, Vertex target,
+    std::span<const unsigned> ks, const McOptions& mc,
+    const CoverOptions& cover) {
+  MW_REQUIRE(!ks.empty(), "need at least one k");
+  McOptions base = mc;
+  base.seed = mix64(mc.seed ^ 0x1a1cULL);  // distinct stream for the baseline
+  const McResult single =
+      estimate_cover_to_target_blocked(engine, start, 1, target, base, cover);
+
+  std::vector<SpeedupEstimate> curve;
+  curve.reserve(ks.size());
+  for (unsigned k : ks) {
+    MW_REQUIRE(k >= 1, "k must be >= 1");
+    McOptions per_k = mc;
+    per_k.seed = mix64(mc.seed ^ (0xbeef00ULL + k));
+    const McResult multi =
+        k == 1 ? single
+               : estimate_cover_to_target_blocked(engine, start, k, target,
+                                                  per_k, cover);
+    SpeedupEstimate est = combine_speedup(k, single, multi);
+    if (k == 1) {
+      // Same convention as the in-core curve: S^1 is exactly 1 with no
+      // uncertainty and never flagged.
+      est.half_width = 0.0;
+      est.censored = 0;
+    }
+    curve.push_back(est);
+  }
+  return curve;
 }
 
 }  // namespace manywalks

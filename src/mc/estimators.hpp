@@ -230,4 +230,33 @@ std::vector<SpeedupEstimate> estimate_speedup_curve(
                                           cover, pool);
 }
 
+// --- out-of-core (block-scheduled) overloads ---------------------------------
+//
+// The same fixed-target estimators over a shared BlockWalkEngine
+// (walk/block_engine.hpp) instead of a substrate. One engine — and so
+// one extent cache — serves every trial, which forces the trial loop
+// serial: the options are pinned to kLanes parallelism with no pool
+// (run_monte_carlo's serial caller loop) and the per-trial streams,
+// reduction order, and seeding scheme are exactly the substrate
+// overloads', so for a given (graph, seed) the estimates are
+// BIT-IDENTICAL to the in-core path at any memory budget (determinism
+// contract v4).
+
+class BlockWalkEngine;
+
+/// Expected rounds for k tokens at `start` to visit `target` distinct
+/// vertices, sampled through the out-of-core engine.
+McResult estimate_cover_to_target_blocked(BlockWalkEngine& engine,
+                                          Vertex start, unsigned k,
+                                          Vertex target, const McOptions& mc,
+                                          const CoverOptions& cover = {});
+
+/// S^k curve with one reused k = 1 baseline; mirrors
+/// estimate_speedup_curve_to_target's seeding exactly (baseline stream
+/// mix64(seed ^ 0x1a1c), per-k mix64(seed ^ (0xbeef00+k))).
+std::vector<SpeedupEstimate> estimate_speedup_curve_to_target_blocked(
+    BlockWalkEngine& engine, Vertex start, Vertex target,
+    std::span<const unsigned> ks, const McOptions& mc,
+    const CoverOptions& cover = {});
+
 }  // namespace manywalks

@@ -1,4 +1,4 @@
-// Memory-mapped, zero-copy loader for mwg v1 files (storage/mwg.hpp).
+// Memory-mapped, zero-copy loader for mwg v1/v2 files (storage/mwg.hpp).
 //
 // MappedGraph maps the whole file read-only and exposes the CSR arrays as
 // spans pointing INTO the mapping — nothing is copied to the heap, and the
@@ -34,6 +34,18 @@
 #include "storage/mwg.hpp"
 
 namespace manywalks {
+
+/// Page-cache advice for a byte extent of a mapping. All madvise-family
+/// calls in the tree live behind this (and the block store's extents) so
+/// one subsystem's advice never silently reshapes another's mapping —
+/// manywalks-lint bans direct mmap/madvise outside src/storage/.
+enum class ExtentAdvice {
+  kNormal,      ///< default kernel readahead
+  kRandom,      ///< no readahead (pointer-chasing access)
+  kSequential,  ///< aggressive readahead (one front-to-back scan)
+  kWillNeed,    ///< prefetch now
+  kDontNeed,    ///< drop cached pages
+};
 
 class MappedGraph {
  public:
@@ -91,6 +103,29 @@ class MappedGraph {
 
   const std::string& path() const noexcept { return path_; }
   std::uint64_t file_bytes() const noexcept { return mapped_bytes_; }
+  std::uint32_t version() const noexcept { return header_.version; }
+
+  // --- v2 block index (empty/0 on v1 files) ---------------------------
+  bool has_block_index() const noexcept { return block_bits_ > 0; }
+  std::uint32_t block_bits() const noexcept { return block_bits_; }
+  std::uint64_t num_blocks() const noexcept {
+    return block_bits_ > 0 ? mwg_num_blocks(header_.num_vertices, block_bits_)
+                           : 0;
+  }
+  /// First arc of each block; num_blocks()+1 entries, last == num_arcs.
+  std::span<const std::uint64_t> block_arc_begin() const noexcept {
+    return {block_arc_begin_,
+            static_cast<std::size_t>(block_bits_ > 0 ? num_blocks() + 1 : 0)};
+  }
+  std::span<const Vertex> block_max_degree() const noexcept {
+    return {block_max_degree_, static_cast<std::size_t>(num_blocks())};
+  }
+
+  /// Applies page-cache advice to the byte extent [byte_begin, byte_end)
+  /// of the mapping (file-relative offsets; page-aligned and clamped
+  /// internally; best-effort — advice failures are ignored).
+  void advise(std::uint64_t byte_begin, std::uint64_t byte_end,
+              ExtentAdvice advice) const noexcept;
 
  private:
   void unmap() noexcept;
@@ -101,6 +136,9 @@ class MappedGraph {
   MwgHeader header_{};
   const std::uint64_t* offsets_ = nullptr;
   const Vertex* targets_ = nullptr;
+  std::uint32_t block_bits_ = 0;
+  const std::uint64_t* block_arc_begin_ = nullptr;
+  const Vertex* block_max_degree_ = nullptr;
 };
 
 /// Materializes a mapped graph as an in-core Graph (copies the arrays;

@@ -15,16 +15,24 @@ void write_raw(std::ofstream& out, const T* data, std::size_t count) {
 
 }  // namespace
 
-MwgWriter::MwgWriter(std::string path, Vertex num_vertices)
+MwgWriter::MwgWriter(std::string path, Vertex num_vertices,
+                     std::uint32_t block_bits)
     : path_(std::move(path)),
       out_(path_, std::ios::binary | std::ios::trunc),
-      n_(num_vertices) {
+      n_(num_vertices),
+      block_bits_(block_bits) {
   MW_REQUIRE(num_vertices != kInvalidVertex, "mwg vertex count too large");
+  MW_REQUIRE(block_bits_ <= kMwgMaxBlockBits,
+             "block_bits " << block_bits_ << " exceeds the maximum "
+                           << kMwgMaxBlockBits);
   if (!out_.good()) {
     throw MwgIoError("cannot open '" + path_ + "' for writing");
   }
   offsets_.reserve(static_cast<std::size_t>(n_) + 1);
   offsets_.push_back(0);
+  if (block_bits_ > 0) {
+    block_max_degree_.assign(mwg_num_blocks(n_, block_bits_), 0);
+  }
   // Targets stream to their final position; the header and offsets are
   // written by finish(), so an abandoned file keeps a zeroed header that
   // every loader rejects.
@@ -50,6 +58,10 @@ void MwgWriter::append_row(std::span<const Vertex> sorted_neighbors) {
   const auto degree = static_cast<Vertex>(sorted_neighbors.size());
   min_degree_ = std::min(min_degree_, degree);
   max_degree_ = std::max(max_degree_, degree);
+  if (block_bits_ > 0) {
+    Vertex& block_max = block_max_degree_[v >> block_bits_];
+    block_max = std::max(block_max, degree);
+  }
   offsets_.push_back(offsets_.back() + degree);
   ++rows_;
 }
@@ -61,12 +73,30 @@ void MwgWriter::finish() {
   MwgHeader header{};
   std::memcpy(header.magic, kMwgMagic, sizeof(kMwgMagic));
   header.endian = kMwgEndianTag;
-  header.version = kMwgVersion;
+  header.version = block_bits_ > 0 ? kMwgVersionBlockIndex : kMwgVersion;
   header.num_vertices = n_;
   header.num_arcs = offsets_.back();
   header.num_loops = loops_;
   header.min_degree = n_ > 0 ? min_degree_ : 0;
   header.max_degree = max_degree_;
+  header.reserved[0] = block_bits_;
+
+  if (block_bits_ > 0) {
+    // The put position sits at the end of the targets array; pad to the
+    // 8-aligned index begin, then emit block_arc_begin (derived from the
+    // offsets array) and the per-block max degrees.
+    const std::uint64_t targets_end = mwg_file_bytes(n_, offsets_.back());
+    const std::uint64_t index_begin = mwg_block_index_begin(n_, offsets_.back());
+    const char pad[8] = {};
+    out_.write(pad, static_cast<std::streamsize>(index_begin - targets_end));
+    const std::uint64_t blocks = mwg_num_blocks(n_, block_bits_);
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const std::uint64_t first_vertex = b << block_bits_;
+      write_raw(out_, &offsets_[first_vertex], 1);
+    }
+    write_raw(out_, &offsets_.back(), 1);
+    write_raw(out_, block_max_degree_.data(), block_max_degree_.size());
+  }
 
   out_.seekp(0);
   write_raw(out_, &header, 1);
@@ -77,8 +107,9 @@ void MwgWriter::finish() {
   finished_ = true;
 }
 
-void write_mwg(const std::string& path, const Graph& g) {
-  MwgWriter writer(path, g.num_vertices());
+void write_mwg(const std::string& path, const Graph& g,
+               std::uint32_t block_bits) {
+  MwgWriter writer(path, g.num_vertices(), block_bits);
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
     writer.append_row(g.neighbors(v));
   }

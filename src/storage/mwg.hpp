@@ -1,4 +1,4 @@
-// The `mwg` v1 on-disk graph format: binary CSR with a fixed 64-byte
+// The `mwg` on-disk graph format: binary CSR with a fixed 64-byte
 // header, written once and memory-mapped forever after.
 //
 // Layout (all fields in the PRODUCER's native byte order; the header's
@@ -9,6 +9,24 @@
 //   offset 64   offsets[n + 1]       (n+1) x uint64  row offsets into targets
 //   offset 64 + (n+1)*8
 //               targets[num_arcs]    num_arcs x uint32 (Vertex) adjacency
+//
+// v2 appends an OPTIONAL block-index section after the targets (plus 0-4
+// zero bytes of padding so the section is 8-byte aligned). Blocks are
+// vertex-contiguous: with `block_bits` = B stored in header.reserved[0],
+// block b covers vertices [b << B, min(n, (b+1) << B)); there are
+// ceil(n / 2^B) blocks. The section is
+//
+//   block_arc_begin[num_blocks + 1]   uint64  first arc of each block
+//                                     (== offsets[first vertex]; the last
+//                                     entry is num_arcs)
+//   block_max_degree[num_blocks]      uint32  max degree inside each block
+//
+// so an out-of-core scheduler can map block b's targets as the byte
+// extent [targets_begin + 4*block_arc_begin[b],
+// targets_begin + 4*block_arc_begin[b+1]) — a pure sequential read —
+// and size its per-block walk buffers from the cached max degree. v1
+// files (version 1, reserved[0] == 0) remain valid and loadable; the
+// index is derivable, so `manywalks graph convert` upgrades them.
 //
 // The arrays are exactly Graph's CSR arrays (same arc conventions: a
 // non-loop edge is two arcs, a self loop one; rows sorted ascending), so a
@@ -56,7 +74,13 @@ inline constexpr char kMwgMagic[8] = {'M', 'W', 'G', 'R', 'A', 'P', 'H', '1'};
 /// byte-swapped knows the file crossed an endianness boundary.
 inline constexpr std::uint32_t kMwgEndianTag = 0x01020304u;
 inline constexpr std::uint32_t kMwgVersion = 1;
+/// v2 = v1 + trailing block-index section; header.reserved[0] holds
+/// block_bits (1..31).
+inline constexpr std::uint32_t kMwgVersionBlockIndex = 2;
 inline constexpr std::size_t kMwgHeaderBytes = 64;
+/// Widest legal block granularity: 2^31 vertices per block covers any
+/// 32-bit vertex id in one block.
+inline constexpr std::uint32_t kMwgMaxBlockBits = 31;
 
 struct MwgHeader {
   char magic[8];               // kMwgMagic
@@ -67,7 +91,7 @@ struct MwgHeader {
   std::uint64_t num_loops;     // self-loop arcs
   std::uint32_t min_degree;    // cached degree extremes (0 for n == 0)
   std::uint32_t max_degree;
-  std::uint64_t reserved[2];   // zero in v1
+  std::uint64_t reserved[2];   // v1: zero; v2: reserved[0] = block_bits
 };
 static_assert(sizeof(MwgHeader) == kMwgHeaderBytes);
 static_assert(std::is_trivially_copyable_v<MwgHeader>);
@@ -80,18 +104,61 @@ constexpr std::uint64_t mwg_targets_begin(std::uint64_t n) noexcept {
   return kMwgHeaderBytes + (n + 1) * sizeof(std::uint64_t);
 }
 
-/// Total file size for an (n, num_arcs) graph.
+/// Total file size for an (n, num_arcs) v1 graph.
 constexpr std::uint64_t mwg_file_bytes(std::uint64_t n,
                                        std::uint64_t num_arcs) noexcept {
   return mwg_targets_begin(n) + num_arcs * sizeof(Vertex);
 }
 
-/// Streams one graph into an mwg v1 file: construct with the vertex count,
+/// Rounds up to the next multiple of 8 (block-index alignment).
+constexpr std::uint64_t mwg_align8(std::uint64_t x) noexcept {
+  return (x + 7) & ~std::uint64_t{7};
+}
+
+/// Number of vertex blocks for an n-vertex graph at 2^block_bits
+/// vertices per block.
+constexpr std::uint64_t mwg_num_blocks(std::uint64_t n,
+                                       std::uint32_t block_bits) noexcept {
+  return n == 0 ? 0 : ((n - 1) >> block_bits) + 1;
+}
+
+/// Byte offset of the v2 block-index section (8-aligned, directly after
+/// the targets array).
+constexpr std::uint64_t mwg_block_index_begin(std::uint64_t n,
+                                              std::uint64_t num_arcs) noexcept {
+  return mwg_align8(mwg_file_bytes(n, num_arcs));
+}
+
+/// Total file size for an (n, num_arcs) v2 graph at block_bits.
+constexpr std::uint64_t mwg_file_bytes_v2(std::uint64_t n,
+                                          std::uint64_t num_arcs,
+                                          std::uint32_t block_bits) noexcept {
+  const std::uint64_t blocks = mwg_num_blocks(n, block_bits);
+  return mwg_block_index_begin(n, num_arcs) +
+         (blocks + 1) * sizeof(std::uint64_t) + blocks * sizeof(Vertex);
+}
+
+/// Default block granularity for an n-vertex graph: the smallest
+/// block_bits >= 12 (4096-vertex blocks) that keeps the index at or
+/// under 1024 blocks — small graphs get one block, huge graphs get
+/// proportionally larger blocks so the index stays tiny.
+constexpr std::uint32_t mwg_default_block_bits(std::uint64_t n) noexcept {
+  std::uint32_t bits = 12;
+  while (bits < kMwgMaxBlockBits && mwg_num_blocks(n, bits) > 1024) ++bits;
+  return bits;
+}
+
+/// Streams one graph into an mwg file: construct with the vertex count,
 /// append every row in vertex order (sorted ascending, like Graph rows),
 /// then finish(). Holds only the offsets array (O(n)) in memory.
+///
+/// `block_bits` == 0 writes a v1 file (no block index — byte-identical
+/// to the historical format); 1..kMwgMaxBlockBits writes a v2 file with
+/// a block index at that granularity.
 class MwgWriter {
  public:
-  MwgWriter(std::string path, Vertex num_vertices);
+  MwgWriter(std::string path, Vertex num_vertices,
+            std::uint32_t block_bits = 0);
 
   MwgWriter(const MwgWriter&) = delete;
   MwgWriter& operator=(const MwgWriter&) = delete;
@@ -109,21 +176,25 @@ class MwgWriter {
   Vertex num_vertices() const noexcept { return n_; }
   Vertex rows_appended() const noexcept { return rows_; }
   std::uint64_t arcs_appended() const noexcept { return offsets_.back(); }
+  std::uint32_t block_bits() const noexcept { return block_bits_; }
 
  private:
   std::string path_;
   std::ofstream out_;
   Vertex n_;
+  std::uint32_t block_bits_;  // 0 = v1, no block index
   Vertex rows_ = 0;
   std::vector<std::uint64_t> offsets_;  // cumulative; offsets_[rows_] is next
+  std::vector<Vertex> block_max_degree_;  // v2 only; per-block running max
   std::uint64_t loops_ = 0;
   Vertex min_degree_ = kInvalidVertex;
   Vertex max_degree_ = 0;
   bool finished_ = false;
 };
 
-/// Writes an in-core Graph to `path` in mwg v1 format.
-void write_mwg(const std::string& path, const Graph& g);
+/// Writes an in-core Graph to `path`; block_bits == 0 gives mwg v1.
+void write_mwg(const std::string& path, const Graph& g,
+               std::uint32_t block_bits = 0);
 
 /// Writes any substrate to `path` by enumerating its rows — the way to
 /// produce an mwg file bigger than an in-core CSR could be (e.g. a 10^7
@@ -131,9 +202,10 @@ void write_mwg(const std::string& path, const Graph& g);
 /// is not ascending (the hypercube's bit order) are sorted per row, so the
 /// file always matches the canonical CSR of the same graph.
 template <Substrate S>
-void write_mwg(const std::string& path, const S& substrate) {
+void write_mwg(const std::string& path, const S& substrate,
+               std::uint32_t block_bits = 0) {
   const Vertex n = substrate.num_vertices();
-  MwgWriter writer(path, n);
+  MwgWriter writer(path, n, block_bits);
   std::vector<Vertex> row;
   for (Vertex v = 0; v < n; ++v) {
     const Vertex degree = substrate.degree(v);

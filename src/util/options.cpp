@@ -150,4 +150,38 @@ bool ArgParser::parse(int argc, char** argv) {
   return true;
 }
 
+std::uint64_t parse_byte_size(const std::string& text) {
+  MW_REQUIRE(!text.empty(), "empty byte size");
+  std::size_t pos = 0;
+  std::uint64_t value = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    const std::uint64_t digit = static_cast<std::uint64_t>(text[pos] - '0');
+    MW_REQUIRE(value <= (UINT64_MAX - digit) / 10,
+               "byte size '" << text << "' overflows");
+    value = value * 10 + digit;
+    ++pos;
+  }
+  MW_REQUIRE(pos > 0, "byte size '" << text << "' has no digits");
+  std::uint32_t shift = 0;
+  if (pos < text.size()) {
+    switch (text[pos]) {
+      case 'k': case 'K': shift = 10; break;
+      case 'm': case 'M': shift = 20; break;
+      case 'g': case 'G': shift = 30; break;
+      case 't': case 'T': shift = 40; break;
+      default:
+        MW_REQUIRE(false, "byte size '" << text
+                                        << "': unknown suffix '" << text[pos]
+                                        << "' (use K/M/G/T)");
+    }
+    ++pos;
+    if (pos < text.size() && (text[pos] == 'b' || text[pos] == 'B')) ++pos;
+  }
+  MW_REQUIRE(pos == text.size(),
+             "byte size '" << text << "' has trailing characters");
+  MW_REQUIRE(shift == 0 || value <= (UINT64_MAX >> shift),
+             "byte size '" << text << "' overflows");
+  return value << shift;
+}
+
 }  // namespace manywalks

@@ -50,4 +50,10 @@ class ArgParser {
   std::vector<Spec> specs_;
 };
 
+/// Parses a human byte size: a non-negative integer with an optional
+/// binary suffix K/M/G/T (case-insensitive, optional trailing B), e.g.
+/// "4096", "64K", "2g", "512MB". Throws std::invalid_argument on
+/// anything else — the `--mem-budget` flag's parser.
+std::uint64_t parse_byte_size(const std::string& text);
+
 }  // namespace manywalks

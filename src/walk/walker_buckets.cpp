@@ -1,0 +1,40 @@
+#include "walk/walker_buckets.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace manywalks {
+
+void WalkerBuckets::rebuild(std::span<const Vertex> tokens,
+                            std::span<const std::uint32_t> rounds_left,
+                            std::uint32_t block_bits,
+                            std::uint64_t num_blocks) {
+  MW_REQUIRE(tokens.size() == rounds_left.size(),
+             "tokens/rounds_left size mismatch");
+  counts_.assign(num_blocks, 0);
+  begin_.assign(num_blocks, 0);
+  touched_.clear();
+  std::uint32_t active = 0;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (rounds_left[i] == 0) continue;
+    const auto b = static_cast<std::uint32_t>(tokens[i] >> block_bits);
+    if (counts_[b]++ == 0) touched_.push_back(b);
+    ++active;
+  }
+  std::sort(touched_.begin(), touched_.end());
+  std::uint32_t offset = 0;
+  for (const std::uint32_t b : touched_) {
+    begin_[b] = offset;
+    offset += counts_[b];
+  }
+  lanes_.resize(active);
+  cursor_.assign(begin_.begin(), begin_.end());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (rounds_left[i] == 0) continue;
+    const auto b = static_cast<std::uint32_t>(tokens[i] >> block_bits);
+    lanes_[cursor_[b]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+}  // namespace manywalks

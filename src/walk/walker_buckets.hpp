@@ -1,0 +1,47 @@
+// Deterministic walker→block bucketing for the out-of-core engine.
+//
+// The block scheduler repeatedly needs "which vertex blocks hold live
+// walkers, and which walkers sit in each" — WalkerBuckets answers it
+// with a stable counting sort: one pass counts lanes per block (and
+// collects the touched blocks), one pass places lane ids grouped by
+// block in ascending lane order. Touched blocks come back ascending.
+// Both orders are pure functions of the walker positions, which is what
+// makes the whole block schedule deterministic (contract v4): no hashes,
+// no pointers, no timing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace manywalks {
+
+class WalkerBuckets {
+ public:
+  /// Rebuilds the buckets from the current walker positions: lane i goes
+  /// under block tokens[i] >> block_bits iff rounds_left[i] > 0.
+  void rebuild(std::span<const Vertex> tokens,
+               std::span<const std::uint32_t> rounds_left,
+               std::uint32_t block_bits, std::uint64_t num_blocks);
+
+  /// Blocks holding at least one live walker, ascending.
+  std::span<const std::uint32_t> touched_blocks() const noexcept {
+    return touched_;
+  }
+  /// Lane ids resident in `block`, ascending (empty for untouched blocks).
+  std::span<const std::uint32_t> lanes_in(std::uint32_t block) const noexcept {
+    return {lanes_.data() + begin_[block], counts_[block]};
+  }
+  std::size_t active_lanes() const noexcept { return lanes_.size(); }
+
+ private:
+  std::vector<std::uint32_t> counts_;   // lanes per block
+  std::vector<std::uint32_t> begin_;    // per-block start into lanes_
+  std::vector<std::uint32_t> cursor_;   // fill cursor (pass 2 scratch)
+  std::vector<std::uint32_t> lanes_;    // lane ids grouped by block
+  std::vector<std::uint32_t> touched_;  // ascending touched block ids
+};
+
+}  // namespace manywalks

@@ -126,5 +126,45 @@ TEST(ArgParserTest, FlagWithValueFails) {
   EXPECT_FALSE(parser.parse(args.argc(), args.argv()));
 }
 
+TEST(ParseByteSize, PlainDigitsAreBytes) {
+  EXPECT_EQ(parse_byte_size("0"), 0u);
+  EXPECT_EQ(parse_byte_size("1"), 1u);
+  EXPECT_EQ(parse_byte_size("4096"), 4096u);
+}
+
+TEST(ParseByteSize, BinarySuffixes) {
+  EXPECT_EQ(parse_byte_size("1K"), std::uint64_t{1} << 10);
+  EXPECT_EQ(parse_byte_size("2k"), std::uint64_t{2} << 10);
+  EXPECT_EQ(parse_byte_size("3M"), std::uint64_t{3} << 20);
+  EXPECT_EQ(parse_byte_size("256m"), std::uint64_t{256} << 20);
+  EXPECT_EQ(parse_byte_size("7G"), std::uint64_t{7} << 30);
+  EXPECT_EQ(parse_byte_size("2T"), std::uint64_t{2} << 40);
+}
+
+TEST(ParseByteSize, OptionalTrailingB) {
+  EXPECT_EQ(parse_byte_size("64KB"), std::uint64_t{64} << 10);
+  EXPECT_EQ(parse_byte_size("64Kb"), std::uint64_t{64} << 10);
+  EXPECT_EQ(parse_byte_size("1gb"), std::uint64_t{1} << 30);
+}
+
+TEST(ParseByteSize, RejectsMalformedInput) {
+  EXPECT_THROW(parse_byte_size(""), std::invalid_argument);
+  EXPECT_THROW(parse_byte_size("K"), std::invalid_argument);
+  EXPECT_THROW(parse_byte_size("12Q"), std::invalid_argument);
+  // 'B' alone is not a size: the grammar is digits [K|M|G|T [B]].
+  EXPECT_THROW(parse_byte_size("512B"), std::invalid_argument);
+  EXPECT_THROW(parse_byte_size("12MBextra"), std::invalid_argument);
+  EXPECT_THROW(parse_byte_size("-1"), std::invalid_argument);
+  EXPECT_THROW(parse_byte_size("1.5G"), std::invalid_argument);
+}
+
+TEST(ParseByteSize, RejectsOverflow) {
+  // 2^64 bytes exactly, and a shift that overflows.
+  EXPECT_THROW(parse_byte_size("18446744073709551616"), std::invalid_argument);
+  EXPECT_THROW(parse_byte_size("16777216T"), std::invalid_argument);
+  // The largest representable T value still parses.
+  EXPECT_EQ(parse_byte_size("16777215T"), std::uint64_t{16777215} << 40);
+}
+
 }  // namespace
 }  // namespace manywalks

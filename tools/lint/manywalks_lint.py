@@ -26,6 +26,13 @@ hold. Generic tooling cannot know them, so this checker does:
                             shared mutable state anywhere else escapes the
                             replicated-control protocol (determinism
                             contract v3) and its TSan coverage.
+  manywalks-mmap-outside-storage
+                            mmap/munmap/madvise and friends outside
+                            src/storage/ — every mapping and its advice
+                            lifetime is owned by the storage layer
+                            (MappedGraph, ExtentCache); ad-hoc mappings
+                            elsewhere dodge the extent accounting the
+                            out-of-core memory budget relies on.
 
 Escape hatch (clang-tidy style, rule name required so escapes stay
 auditable — see the inventory in docs/ARCHITECTURE.md):
@@ -367,12 +374,50 @@ class StrayAtomicRule(Rule):
         return findings
 
 
+class MmapOutsideStorageRule(Rule):
+    name = RULE_PREFIX + "mmap-outside-storage"
+    description = (
+        "memory-mapping syscalls (mmap/munmap/mremap/madvise/posix_madvise/"
+        "msync/mincore/mlock/munlock) outside src/storage/ — mappings and "
+        "their advice lifetimes belong to the storage layer (MappedGraph, "
+        "ExtentCache) so the out-of-core budget accounting sees every "
+        "resident byte; map through BlockedGraph::map_extent or MappedGraph "
+        "instead"
+    )
+    EXEMPT_PREFIX = "src/storage/"
+    # Call syntax only, and not member calls (`cache.madvise(...)` would be
+    # a repo-owned wrapper, which is the point of the rule).
+    PATTERN = re.compile(
+        r"(?<![\w.])(?:::\s*)?"
+        r"(mmap|munmap|mremap|madvise|posix_madvise|msync|mincore|mlock|"
+        r"munlock|mlockall|munlockall)\s*\("
+    )
+
+    def check(self, src: SourceFile) -> list[Finding]:
+        if src.relpath.startswith(self.EXEMPT_PREFIX):
+            return []
+        findings = []
+        for lineno, match in _matches(self.PATTERN, src):
+            findings.append(
+                self._finding(
+                    src, lineno, match.start() + 1,
+                    f"'{match.group(1)}' outside src/storage/: mappings and "
+                    "madvise lifetimes are owned by the storage layer so the "
+                    "out-of-core memory budget accounts for every resident "
+                    "extent; go through MappedGraph or "
+                    "BlockedGraph::map_extent",
+                )
+            )
+        return findings
+
+
 ALL_RULES: list[Rule] = [
     RawRngRule(),
     UnorderedIterationRule(),
     BareAssertRule(),
     FloatStatisticsRule(),
     StrayAtomicRule(),
+    MmapOutsideStorageRule(),
 ]
 
 

@@ -230,6 +230,47 @@ class StrayAtomicRuleTest(unittest.TestCase):
         self.assertEqual(rules_fired("int atomic_ops = 0;\n"), set())
 
 
+class MmapOutsideStorageRuleTest(unittest.TestCase):
+    def test_fires_on_mmap_outside_storage(self):
+        fired = rules_fired(
+            "void* p = mmap(nullptr, n, PROT_READ, MAP_PRIVATE, fd, 0);\n",
+            relpath="src/walk/block_engine.cpp")
+        self.assertIn("manywalks-mmap-outside-storage", fired)
+
+    def test_fires_on_qualified_and_advice_calls(self):
+        text = ("::munmap(p, n);\n"
+                "madvise(p, n, MADV_SEQUENTIAL);\n"
+                "posix_madvise(p, n, POSIX_MADV_WILLNEED);\n")
+        fired = rules_fired(text, relpath="src/cli/graph_tool.cpp")
+        self.assertIn("manywalks-mmap-outside-storage", fired)
+
+    def test_storage_layer_is_exempt(self):
+        text = ("void* p = ::mmap(nullptr, n, PROT_READ, MAP_PRIVATE, fd, 0);\n"
+                "::madvise(p, n, MADV_SEQUENTIAL);\n")
+        for relpath in ("src/storage/mapped_graph.cpp",
+                        "src/storage/block_store.cpp"):
+            self.assertEqual(rules_fired(text, relpath=relpath), set())
+
+    def test_quiet_on_the_fixed_form(self):
+        fixed = ("const std::byte* p = cache.acquire(begin, end);\n"
+                 "auto extent = graph.map_extent(begin, end);\n")
+        self.assertEqual(
+            rules_fired(fixed, relpath="src/walk/block_engine.cpp"), set())
+
+    def test_quiet_on_identifiers_and_member_calls(self):
+        ok = ("int remapped = 0;\n"
+              "store.mmap(region);\n"           # repo-owned wrapper method
+              "auto x = mmap_like_helper(y);\n")
+        self.assertEqual(
+            rules_fired(ok, relpath="src/walk/block_engine.cpp"), set())
+
+    def test_quiet_on_mention_in_comment(self):
+        self.assertEqual(
+            rules_fired("// the storage layer calls madvise for us\nint x;\n",
+                        relpath="src/walk/block_engine.cpp"),
+            set())
+
+
 class NolintEscapeTest(unittest.TestCase):
     def test_nolint_on_the_same_line_suppresses(self):
         text = "int r = rand();  // NOLINT(manywalks-raw-rng): legacy shim\n"
