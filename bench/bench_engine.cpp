@@ -12,7 +12,12 @@
 //      machine-readable BENCH_4.json perf artifact (--bench4_out=PATH,
 //      schema "manywalks-bench4-v1", documented in docs/ARCHITECTURE.md);
 //      with --lane_guard it exits nonzero if lane mode regresses below
-//      legacy on any family (the CI perf-smoke anti-regression gate).
+//      legacy on any family (the CI perf-smoke anti-regression gate);
+//   3. measures the observability layer's cost (BENCH_obs.json, schema
+//      "manywalks-obs-v1"): lane steps/s with a MetricsRegistry installed
+//      vs observability off, counting contract checked exactly; with
+//      --obs_guard it exits nonzero if metrics-on drops below 97% of
+//      metrics-off steps/s on every k of any family.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -26,6 +31,8 @@
 #include <vector>
 
 #include "core/families.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
 #include "util/thread_pool.hpp"
 #include "graph/generators.hpp"
 #include "graph/substrate.hpp"
@@ -646,14 +653,187 @@ bool scale_results_pass(const std::vector<ScaleRow>& rows, bool guard) {
   return ok;
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_obs: cost of the observability layer (ISSUE 10). Lane-mode
+// run_for_steps bursts alternate between observer OFF (the null-pointer
+// fast path) and observer ON with a live MetricsRegistry — the exact
+// configuration `--metrics` installs. The counting contract is checked
+// unconditionally (the registry must reproduce the burst's step count
+// exactly); --obs_guard additionally gates the on/off steps/s ratio at
+// >= 0.97, the "metrics cost <= 3% steps/s" promise in docs/ARCHITECTURE.md.
+// ---------------------------------------------------------------------------
+
+struct ObsRow {
+  std::string family;
+  std::string substrate;  // "csr" or "implicit"
+  std::uint64_t n = 0;
+  unsigned k = 0;
+  double off_steps_per_s = 0.0;
+  double on_steps_per_s = 0.0;
+  double ratio = 0.0;  // on / off
+};
+
+/// Alternating off/on bursts, same per-rep RNG seeds on both sides so the
+/// two measurements do byte-identical walk work. The observer is installed
+/// only around the on-side bursts (install/uninstall happens on this
+/// thread with no workers running — the documented discipline).
+template <class Engine>
+ObsRow measure_obs_overhead(const char* family, const char* substrate,
+                            std::uint64_t n, Engine& engine, unsigned k,
+                            std::uint64_t steps_budget,
+                            obs::MetricsRegistry& registry,
+                            std::uint64_t& expected_on_steps) {
+  const std::vector<Vertex> starts(k, 0);
+  const std::uint64_t rounds = std::max<std::uint64_t>(steps_budget / k, 64);
+  const std::uint64_t warm_rounds = std::max<std::uint64_t>(rounds / 8, 1);
+  constexpr int kReps = 4;
+  obs::RunObserver on{&registry, nullptr, nullptr};
+  // Warm both sides (pages scratch, seeds lanes, registers this thread's
+  // counter scratch) outside the timing.
+  timed_rounds(engine, starts, warm_rounds, RngMode::kLane, 1);
+  {
+    obs::ScopedObserver scoped(&on);
+    timed_rounds(engine, starts, warm_rounds, RngMode::kLane, 1);
+  }
+  expected_on_steps += warm_rounds * k;
+  double off_s = 0.0;
+  double on_s = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const std::uint64_t seed = 500 + static_cast<std::uint64_t>(rep);
+    off_s += timed_rounds(engine, starts, rounds, RngMode::kLane, seed);
+    obs::ScopedObserver scoped(&on);
+    on_s += timed_rounds(engine, starts, rounds, RngMode::kLane, seed);
+  }
+  expected_on_steps += rounds * k * kReps;
+  const double steps =
+      static_cast<double>(rounds) * k * static_cast<double>(kReps);
+  ObsRow row;
+  row.family = family;
+  row.substrate = substrate;
+  row.n = n;
+  row.k = k;
+  row.off_steps_per_s = steps / off_s;
+  row.on_steps_per_s = steps / on_s;
+  row.ratio = row.on_steps_per_s / row.off_steps_per_s;
+  return row;
+}
+
+std::vector<ObsRow> run_obs(obs::MetricsRegistry& registry,
+                            std::uint64_t& expected_on_steps) {
+  std::vector<ObsRow> rows;
+  const unsigned ks[] = {8, 64, 256};
+  std::printf("observability overhead, lane token-steps/s (metrics registry "
+              "installed vs off):\n");
+  std::printf("%-19s %4s %15s %15s %7s\n", "family", "k", "obs off", "obs on",
+              "ratio");
+  auto push = [&rows](ObsRow row) {
+    std::printf("%-19s %4u %14.1fM %14.1fM %6.2fx\n", row.family.c_str(),
+                row.k, row.off_steps_per_s / 1e6, row.on_steps_per_s / 1e6,
+                row.ratio);
+    rows.push_back(std::move(row));
+  };
+  {
+    const Graph g = make_margulis_expander(1024);  // n = 2^20
+    WalkEngine engine(g);
+    for (unsigned k : ks) {
+      push(measure_obs_overhead("csr-expander", "csr", g.num_vertices(),
+                                engine, k, 3'000'000, registry,
+                                expected_on_steps));
+    }
+  }
+  {
+    WalkEngineT<CycleSubstrate> engine{CycleSubstrate(1u << 20)};
+    for (unsigned k : ks) {
+      push(measure_obs_overhead("implicit-cycle", "implicit", 1u << 20,
+                                engine, k, 12'000'000, registry,
+                                expected_on_steps));
+    }
+  }
+  std::printf("\n");
+  return rows;
+}
+
+void write_obs_json(const std::vector<ObsRow>& rows, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"schema\": \"manywalks-obs-v1\",\n"
+      << "  \"metric\": \"lane token-steps per second, run_for_steps, "
+         "metrics registry installed vs observability off\",\n"
+      << "  \"floor\": 0.97,\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ObsRow& r = rows[i];
+    out << "    {\"family\": \"" << r.family << "\", \"substrate\": \""
+        << r.substrate << "\", \"n\": " << r.n << ", \"k\": " << r.k
+        << ", \"off_steps_per_s\": "
+        << static_cast<std::uint64_t>(r.off_steps_per_s)
+        << ", \"on_steps_per_s\": "
+        << static_cast<std::uint64_t>(r.on_steps_per_s) << ", \"ratio\": "
+        << r.ratio << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s (%zu rows)\n\n", path.c_str(), rows.size());
+}
+
+/// The counting contract is unconditional: every on-side burst ran with
+/// the registry installed, so after a drain the registry's walk.steps must
+/// equal the steps the bursts actually executed — a miscount is a
+/// correctness bug in the scratch/drain pipeline, not a perf matter. The
+/// guard gates the BEST k ratio per family (same best-of-k rationale as
+/// lane_guard: load spikes dent single rows, a real regression dents all).
+bool obs_results_pass(const std::vector<ObsRow>& rows,
+                      obs::MetricsRegistry& registry,
+                      std::uint64_t expected_on_steps, bool guard) {
+  bool ok = true;
+  obs::drain_thread_counters(registry);
+  const std::uint64_t counted = registry.value(obs::Metric::kSteps);
+  if (counted != expected_on_steps) {
+    std::fprintf(stderr,
+                 "obs FAIL: registry counted %llu steps, bursts executed "
+                 "%llu — scratch/drain pipeline miscounts\n",
+                 static_cast<unsigned long long>(counted),
+                 static_cast<unsigned long long>(expected_on_steps));
+    ok = false;
+  } else {
+    std::printf("verified: metrics registry reproduced all %llu observed "
+                "token-steps exactly\n",
+                static_cast<unsigned long long>(counted));
+  }
+  if (guard) {
+    std::vector<std::string> families;
+    for (const ObsRow& row : rows) {
+      if (std::find(families.begin(), families.end(), row.family) ==
+          families.end()) {
+        families.push_back(row.family);
+      }
+    }
+    for (const std::string& family : families) {
+      double best = 0.0;
+      for (const ObsRow& row : rows) {
+        if (row.family == family) best = std::max(best, row.ratio);
+      }
+      const bool pass = best >= 0.97;
+      std::printf("obs_guard %-19s best ratio %.3fx (floor 0.970x) %s\n",
+                  family.c_str(), best, pass ? "OK" : "FAIL");
+      ok = ok && pass;
+    }
+  }
+  std::printf("\n");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Strip our flags before google-benchmark sees the command line.
   std::string bench4_out = "BENCH_4.json";
   std::string scale_out = "BENCH_scale.json";
+  std::string obs_out = "BENCH_obs.json";
   bool lane_guard = false;
   bool scale_guard = false;
+  bool obs_guard = false;
   int out_argc = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -661,10 +841,14 @@ int main(int argc, char** argv) {
       bench4_out = arg + 13;
     } else if (std::strncmp(arg, "--scale_out=", 12) == 0) {
       scale_out = arg + 12;
+    } else if (std::strncmp(arg, "--obs_out=", 10) == 0) {
+      obs_out = arg + 10;
     } else if (std::strcmp(arg, "--lane_guard") == 0) {
       lane_guard = true;
     } else if (std::strcmp(arg, "--scale_guard") == 0) {
       scale_guard = true;
+    } else if (std::strcmp(arg, "--obs_guard") == 0) {
+      obs_guard = true;
     } else {
       argv[out_argc++] = argv[i];
     }
@@ -679,6 +863,13 @@ int main(int argc, char** argv) {
   const std::vector<ScaleRow> scale = run_scale();
   write_scale_json(scale, scale_out);
   if (!scale_results_pass(scale, scale_guard)) return EXIT_FAILURE;
+  obs::MetricsRegistry obs_registry;
+  std::uint64_t expected_on_steps = 0;
+  const std::vector<ObsRow> obs_rows = run_obs(obs_registry, expected_on_steps);
+  write_obs_json(obs_rows, obs_out);
+  if (!obs_results_pass(obs_rows, obs_registry, expected_on_steps, obs_guard)) {
+    return EXIT_FAILURE;
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return EXIT_FAILURE;
   benchmark::RunSpecifiedBenchmarks();

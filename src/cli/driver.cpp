@@ -1,13 +1,20 @@
 #include "cli/driver.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "cli/graph_tool.hpp"
 #include "cli/presets.hpp"
 #include "cli/registry.hpp"
 #include "cli/sinks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -19,6 +26,37 @@ namespace {
 bool has_extra(const ExperimentInfo& info, ExtraParam extra) {
   return std::find(info.extras.begin(), info.extras.end(), extra) !=
          info.extras.end();
+}
+
+/// Fills ExperimentResult::manifest for `--metrics`: timings, resolved
+/// parallelism, then the full metric snapshot (stable enum-then-
+/// registration order, zeros included, so two runs produce comparable
+/// key sets).
+void fill_manifest(ExperimentResult& result,
+                   const obs::MetricsRegistry& registry, double wall_seconds,
+                   double cpu_seconds, unsigned lane_shards,
+                   std::size_t pool_threads) {
+  auto& manifest = result.manifest;
+  manifest.emplace_back("wall_seconds", RealCell{wall_seconds, 4});
+  manifest.emplace_back("cpu_seconds", RealCell{cpu_seconds, 4});
+  manifest.emplace_back("threads", static_cast<std::uint64_t>(pool_threads));
+  manifest.emplace_back("lane_shards", static_cast<std::uint64_t>(lane_shards));
+  for (const obs::MetricSnapshot& snap : registry.snapshot()) {
+    if (snap.kind == obs::MetricKind::kHistogram) {
+      manifest.emplace_back("metrics." + snap.name + ".count", snap.value);
+      std::size_t last = snap.buckets.size();
+      while (last > 0 && snap.buckets[last - 1] == 0) --last;
+      std::string buckets;
+      for (std::size_t i = 0; i < last; ++i) {
+        if (i != 0) buckets += ',';
+        buckets += std::to_string(snap.buckets[i]);
+      }
+      manifest.emplace_back("metrics." + snap.name + ".log2_buckets",
+                            std::move(buckets));
+    } else {
+      manifest.emplace_back("metrics." + snap.name, snap.value);
+    }
+  }
 }
 
 void print_usage(std::ostream& os) {
@@ -88,6 +126,10 @@ int run_experiment_main(std::string_view name, int argc, char** argv) {
   params.seed = info.default_seed;
   std::string format_text = "text";
   SinkOptions sink;
+  bool progress_flag = false;
+  std::string progress_secs = "2";
+  std::string trace_out;
+  bool metrics_flag = false;
   ArgParser parser(info.name, info.summary + " [" + info.claim + "]");
   parser.add_flag("full", &params.full, "paper-scale presets")
       .add_option("n", &params.n, "target graph size (0 = preset)")
@@ -96,7 +138,17 @@ int run_experiment_main(std::string_view name, int argc, char** argv) {
       .add_option("threads", &params.threads, "worker threads (0 = hardware)")
       .add_option("format", &format_text, "output format: text, json, csv")
       .add_option("out", &sink.out_dir,
-                  "directory for json/csv files (default: stdout)");
+                  "directory for json/csv files (default: stdout)")
+      .add_optional_value_flag(
+          "progress", &progress_flag, &progress_secs,
+          "stderr heartbeat (trials, rounds, steps/s, cache hit-rate, ETA); "
+          "--progress=SECS sets the interval in seconds")
+      .add_option("trace-out", &trace_out,
+                  "write a Chrome trace-event JSON file of the run "
+                  "(view in Perfetto / chrome://tracing)")
+      .add_flag("metrics", &metrics_flag,
+                "append a run manifest (wall/CPU time, resolved "
+                "parallelism, metric snapshot) to the output");
   if (has_extra(info, ExtraParam::kK)) {
     parser.add_option("k", &params.k, "number of walks (0 = preset)");
   }
@@ -141,16 +193,77 @@ int run_experiment_main(std::string_view name, int argc, char** argv) {
     return 1;
   }
 
+  double progress_interval = 0.0;
+  if (progress_flag) {
+    char* end = nullptr;
+    progress_interval = std::strtod(progress_secs.c_str(), &end);
+    if (end == progress_secs.c_str() || *end != '\0' ||
+        !(progress_interval >= 0.0)) {
+      std::cerr << info.name << ": bad --progress interval '" << progress_secs
+                << "' (want seconds, e.g. --progress=5)\n";
+      return 1;
+    }
+  }
+
   // THE place "--threads 0 = hardware" is resolved: runners and sinks
   // downstream always see the real worker count, never the 0 sentinel.
   if (params.threads == 0) params.threads = default_thread_count();
   ThreadPool pool(params.threads);
+
+  // Observability is strictly additive: with none of --progress /
+  // --trace-out / --metrics given, no observer is installed and every
+  // engine sees the same null pointer it always has.
+  const bool observe = progress_flag || metrics_flag || !trace_out.empty();
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::TraceWriter> trace;
+  if (!trace_out.empty()) trace = std::make_unique<obs::TraceWriter>(trace_out);
+  std::unique_ptr<obs::ProgressReporter> progress;
+  if (progress_flag) {
+    progress = std::make_unique<obs::ProgressReporter>(progress_interval,
+                                                       &registry);
+  }
+  obs::RunObserver run_observer{&registry, trace.get(), progress.get()};
+
   Stopwatch watch;
+  const double cpu_start = obs::process_cpu_seconds();
   ExperimentResult result;
   try {
-    result = experiment->run(params, pool);
+    {
+      std::optional<obs::ScopedObserver> scoped;
+      if (observe) scoped.emplace(&run_observer);
+      obs::TraceSpan span(trace.get(), "experiment", "cli");
+      span.set_args("\"name\":\"" + info.name + "\"");
+      result = experiment->run(params, pool);
+    }
     result.elapsed_seconds = watch.seconds();
+    if (observe) {
+      // run() has returned and the observer is uninstalled: the pool is
+      // idle, so this drain is at a quiesced point and catches counters
+      // flushed after the last in-run drain (e.g. a final sharded cover).
+      obs::drain_thread_counters(registry);
+    }
+    if (progress != nullptr) progress->finish();
+    if (metrics_flag) {
+      fill_manifest(result, registry, result.elapsed_seconds,
+                    obs::process_cpu_seconds() - cpu_start, params.lane_shards,
+                    pool.size());
+    }
     emit_result(result, sink, std::cout);
+    if (trace != nullptr) {
+      if (trace->write()) {
+        std::cerr << "wrote trace " << trace->path() << " ("
+                  << trace->event_count() << " events";
+        if (trace->dropped() > 0) {
+          std::cerr << ", " << trace->dropped() << " dropped at the "
+                    << "buffer cap";
+        }
+        std::cerr << ")\n";
+      } else {
+        std::cerr << info.name << ": cannot write --trace-out file '"
+                  << trace->path() << "'\n";
+        return 1;
+      }
+    }
   } catch (const std::exception& error) {
     std::cerr << info.name << ": " << error.what() << '\n';
     return 1;

@@ -11,6 +11,7 @@
 // is bit-identical to the in-core run at any budget.
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -156,15 +157,29 @@ std::string blocked_preamble(const BlockedGraph& graph,
          "(determinism contract v4).";
 }
 
-std::string blocked_cache_note(const BlockWalkEngine& engine) {
-  const ExtentCache::Stats& cache = engine.cache_stats();
-  const BlockWalkEngine::Stats& run = engine.stats();
-  return "block engine: " + format_count(cache.loads) + " extent loads (" +
-         format_count(cache.hits) + " cache hits, " +
-         format_count(cache.evictions) + " evictions), " +
-         format_count(cache.bytes_loaded) + " bytes streamed across " +
-         format_count(run.horizons) + " horizons / " +
-         format_count(run.bucket_passes) + " bucket passes.";
+std::string blocked_cache_note(const BlockedRunTotals& totals) {
+  // Counters reset per trial (see estimate_cover_to_target_blocked), so
+  // these are per-trial aggregates: totals are sums of independent trial
+  // readings and the peak is a true heaviest-trial figure.
+  std::string note =
+      "block engine (" + format_count(totals.trials) +
+      " trials, counters reset per trial): " +
+      format_count(totals.cache_loads) + " extent loads (" +
+      format_count(totals.cache_hits) + " cache hits";
+  const std::uint64_t lookups = totals.cache_loads + totals.cache_hits;
+  if (lookups > 0) {
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), ", %.1f%%",
+                  100.0 * static_cast<double>(totals.cache_hits) /
+                      static_cast<double>(lookups));
+    note += rate;
+  }
+  note += ", " + format_count(totals.cache_evictions) + " evictions), " +
+          format_count(totals.cache_bytes_loaded) + " bytes streamed (peak " +
+          format_count(totals.peak_trial_bytes_loaded) + "/trial) across " +
+          format_count(totals.horizons) + " horizons / " +
+          format_count(totals.bucket_passes) + " bucket passes.";
+  return note;
 }
 
 ExperimentResult run_mwg_speedup_blocked(const ExperimentParams& params,
@@ -185,9 +200,10 @@ ExperimentResult run_mwg_speedup_blocked(const ExperimentParams& params,
 
   McOptions mc = preset_mc(trials);
   mc.seed = mix64(seed ^ 0x3396a1ULL);
+  BlockedRunTotals totals;
   const std::vector<SpeedupEstimate> curve =
       estimate_speedup_curve_to_target_blocked(engine, start, target, ks, mc,
-                                               lane_cover_options());
+                                               lane_cover_options(), &totals);
 
   ExperimentResult result;
   push_common_params(result, seed, params.full,
@@ -201,7 +217,7 @@ ExperimentResult run_mwg_speedup_blocked(const ExperimentParams& params,
   result.preamble.push_back(blocked_preamble(graph, params.graph, budget));
   result.tables.push_back(speedup_table(params.graph, start, target, n, curve));
   result.notes = speedup_notes();
-  result.notes.push_back(blocked_cache_note(engine));
+  result.notes.push_back(blocked_cache_note(totals));
   return result;
 }
 
@@ -227,22 +243,25 @@ ExperimentResult run_mwg_starts_blocked(const ExperimentParams& params,
   McOptions mc = preset_mc(trials);
   mc.parallelism = McParallelism::kLanes;
 
+  BlockedRunTotals totals;
   McOptions same_mc = mc;
   same_mc.seed = mix64(seed ^ 0x3a11ULL);
-  const McResult same =
-      estimate_cover_to_target_blocked(engine, start, k, n, same_mc, cover_run);
+  const McResult same = estimate_cover_to_target_blocked(
+      engine, start, k, n, same_mc, cover_run, &totals);
 
   const std::span<const std::uint64_t> offsets = graph.offsets();
   McOptions stationary_mc = mc;
   stationary_mc.seed = mix64(seed ^ 0x3a22ULL);
   const McResult stationary = run_monte_carlo(
-      [&engine, offsets, k, cover_run, n](std::uint64_t, Rng& rng) {
+      [&engine, &totals, offsets, k, cover_run, n](std::uint64_t, Rng& rng) {
         std::vector<Vertex> starts(k);
         for (Vertex& s : starts) {
           s = sample_stationary_vertex_csr(offsets, rng);
         }
         engine.reset(starts);
+        engine.reset_stats();
         const CoverSample sample = engine.run_until_visited(n, rng, cover_run);
+        totals.absorb(engine);
         return TrialOutcome{static_cast<double>(sample.steps), !sample.covered};
       },
       stationary_mc, nullptr);
@@ -250,11 +269,13 @@ ExperimentResult run_mwg_starts_blocked(const ExperimentParams& params,
   McOptions uniform_mc = mc;
   uniform_mc.seed = mix64(seed ^ 0x3a33ULL);
   const McResult uniform = run_monte_carlo(
-      [&engine, k, cover_run, n](std::uint64_t, Rng& rng) {
+      [&engine, &totals, k, cover_run, n](std::uint64_t, Rng& rng) {
         std::vector<Vertex> starts(k);
         for (Vertex& s : starts) s = rng.uniform_below_wide(n);
         engine.reset(starts);
+        engine.reset_stats();
         const CoverSample sample = engine.run_until_visited(n, rng, cover_run);
+        totals.absorb(engine);
         return TrialOutcome{static_cast<double>(sample.steps), !sample.covered};
       },
       uniform_mc, nullptr);
@@ -271,7 +292,7 @@ ExperimentResult run_mwg_starts_blocked(const ExperimentParams& params,
   result.tables.push_back(
       starts_table(params.graph, k, start, same, stationary, uniform));
   result.notes = starts_notes();
-  result.notes.push_back(blocked_cache_note(engine));
+  result.notes.push_back(blocked_cache_note(totals));
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "cli/graph_tool.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -11,6 +12,7 @@
 #include "storage/ingest.hpp"
 #include "storage/mapped_graph.hpp"
 #include "storage/mwg.hpp"
+#include "util/json.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -40,10 +42,11 @@ void print_graph_usage(std::ostream& os) {
         "                               comments, arbitrary vertex ids.\n"
         "                               An .mwg --in is rewritten instead\n"
         "                               (the v1 -> v2 block-index upgrade)\n"
-        "  manywalks graph info FILE.mwg [--deep]\n"
+        "  manywalks graph info FILE.mwg [--deep] [--json]\n"
         "                               header + degree statistics from the\n"
         "                               mapped file; --deep also validates\n"
-        "                               the full adjacency\n"
+        "                               the full adjacency; --json emits\n"
+        "                               the same facts as JSON\n"
         "\n"
         "--block-bits: 2^B vertices per index block (v2); 0 forces v1, the\n"
         "default -1 auto-sizes (>= 4096 vertices, <= 1024 blocks). The v2\n"
@@ -344,13 +347,16 @@ int run_convert(int argc, char** argv) {
 int run_info(int argc, char** argv) {
   std::string in;
   bool deep = false;
+  bool json = false;
   std::vector<char*> args = take_positional(argc, argv, &in);
   ArgParser parser("manywalks graph info",
                    "print header and degree statistics of an mwg file");
   parser.add_option("in", &in, "input .mwg path (also accepted positionally)")
       .add_flag("deep", &deep,
                 "additionally validate the full adjacency (pages in the "
-                "whole file)");
+                "whole file)")
+      .add_flag("json", &json,
+                "emit the same facts as a JSON document on stdout");
   if (!parser.parse(static_cast<int>(args.size()), args.data())) return 1;
   if (in.empty()) {
     std::cerr << "manywalks graph info: missing input file\n";
@@ -366,6 +372,54 @@ int run_info(int argc, char** argv) {
             ? static_cast<double>(mapped.num_arcs()) /
                   static_cast<double>(mapped.num_vertices())
             : 0.0;
+    std::uint64_t largest_extent = 0;
+    if (mapped.has_block_index()) {
+      // The largest extent is what an out-of-core scheduler must fit in
+      // its budget; worth surfacing next to the block count.
+      const std::span<const std::uint64_t> begins = mapped.block_arc_begin();
+      for (std::size_t b = 0; b + 1 < begins.size(); ++b) {
+        largest_extent = std::max(largest_extent, begins[b + 1] - begins[b]);
+      }
+      largest_extent *= sizeof(Vertex);
+    }
+    if (json) {
+      JsonWriter writer(/*pretty=*/true);
+      writer.begin_object();
+      writer.key("file").value_str(in);
+      writer.key("file_bytes").value_u64(mapped.file_bytes());
+      writer.key("version").value_u64(mapped.version());
+      writer.key("vertices").value_u64(mapped.num_vertices());
+      writer.key("edges").value_u64(mapped.num_edges());
+      writer.key("arcs").value_u64(mapped.num_arcs());
+      writer.key("self_loops").value_u64(mapped.num_loops());
+      writer.key("degree").begin_object();
+      writer.key("min").value_u64(mapped.min_degree());
+      writer.key("max").value_u64(mapped.max_degree());
+      writer.key("mean").value_num(mean_degree);
+      writer.key("regular").value_bool(mapped.is_regular());
+      writer.end_object();
+      writer.key("layout").begin_object();
+      writer.key("offset_bytes")
+          .value_u64(mwg_targets_begin(mapped.num_vertices()) -
+                     kMwgHeaderBytes);
+      writer.key("adjacency_bytes")
+          .value_u64(mapped.num_arcs() * sizeof(Vertex));
+      writer.end_object();
+      if (mapped.has_block_index()) {
+        writer.key("blocks").begin_object();
+        writer.key("count").value_u64(mapped.num_blocks());
+        writer.key("block_bits").value_u64(mapped.block_bits());
+        writer.key("largest_extent_bytes").value_u64(largest_extent);
+        writer.end_object();
+      } else {
+        writer.key("blocks").value_null();
+      }
+      writer.key("walkable").value_bool(mapped.min_degree() >= 1);
+      writer.key("validation").value_str(deep ? "deep" : "structure");
+      writer.end_object();
+      std::cout << writer.take() << '\n';
+      return 0;
+    }
     std::cout << "file:        " << in << " (" << format_count(mapped.file_bytes())
               << " bytes; mwg v" << mapped.version() << ", native byte order)\n"
               << "vertices:    " << format_count(mapped.num_vertices()) << '\n'
@@ -382,17 +436,9 @@ int run_info(int argc, char** argv) {
               << format_count(mapped.num_arcs() * sizeof(Vertex))
               << " adjacency bytes, memory-mapped\n";
     if (mapped.has_block_index()) {
-      // The largest extent is what an out-of-core scheduler must fit in
-      // its budget; worth surfacing next to the block count.
-      const std::span<const std::uint64_t> begins = mapped.block_arc_begin();
-      std::uint64_t largest = 0;
-      for (std::size_t b = 0; b + 1 < begins.size(); ++b) {
-        largest = std::max(largest, begins[b + 1] - begins[b]);
-      }
       std::cout << "blocks:      " << format_count(mapped.num_blocks())
                 << " of 2^" << mapped.block_bits()
-                << " vertices; largest extent "
-                << format_count(largest * sizeof(Vertex))
+                << " vertices; largest extent " << format_count(largest_extent)
                 << " bytes (schedulable via --block-walk)\n";
     } else {
       std::cout << "blocks:      none (v1 — no block index; upgrade with "

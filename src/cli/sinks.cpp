@@ -163,6 +163,15 @@ void render_text(const ExperimentResult& result, std::ostream& os) {
           "means are lower bounds.\n";
   }
   for (const std::string& line : result.notes) os << line << '\n';
+  // Manifest lines start at column 0 on purpose: CI's budget-invariance
+  // check diffs the table rows (`grep '^ '`), and manifest values carry
+  // wall-clock timings that legitimately differ between runs.
+  if (!result.manifest.empty()) {
+    os << "run manifest:\n";
+    for (const auto& [key, cell] : result.manifest) {
+      os << "manifest " << key << " = " << cell_text(cell) << '\n';
+    }
+  }
   os << "Elapsed: " << format_double(result.elapsed_seconds, 3) << " s\n";
 }
 
@@ -213,6 +222,17 @@ std::string render_json(const ExperimentResult& result) {
   json_string_array(os, result.notes);
   os << ",\n";
   os << "  \"censored_cells\": " << result.censored_cells << ",\n";
+  // Only present under --metrics: an absent manifest keeps the document
+  // byte-identical to what every pre-observability run produced.
+  if (!result.manifest.empty()) {
+    os << "  \"manifest\": {";
+    for (std::size_t i = 0; i < result.manifest.size(); ++i) {
+      os << (i == 0 ? "\n" : ",\n") << "    \""
+         << json_escape(result.manifest[i].first) << "\": ";
+      json_cell(os, result.manifest[i].second);
+    }
+    os << "\n  },\n";
+  }
   if (result.has_verdict) {
     os << "  \"passed\": " << (result.passed ? "true" : "false") << ",\n";
   }
@@ -314,6 +334,21 @@ void emit_result(const ExperimentResult& result, const SinkOptions& options,
           const auto path = std::filesystem::path(options.out_dir) /
                             (result.name + "." + table.id() + ".csv");
           write_file(path, csv);
+          os << "wrote " << path.string() << '\n';
+        }
+      }
+      if (!result.manifest.empty()) {
+        std::ostringstream manifest;
+        manifest << "key,value\n";
+        for (const auto& [key, cell] : result.manifest) {
+          manifest << csv_escape(key) << ',' << csv_value(cell) << '\n';
+        }
+        if (options.out_dir.empty()) {
+          os << "# manifest\n" << manifest.str() << '\n';
+        } else {
+          const auto path = std::filesystem::path(options.out_dir) /
+                            (result.name + ".manifest.csv");
+          write_file(path, manifest.str());
           os << "wrote " << path.string() << '\n';
         }
       }

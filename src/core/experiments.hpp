@@ -113,6 +113,11 @@ struct ExperimentResult {
   /// returns, rendered by every sink (JSON key, text warning).
   std::uint64_t censored_cells = 0;
   double elapsed_seconds = 0.0;
+  /// Run manifest (`--metrics`): wall/CPU time, resolved parallelism, and
+  /// the final metric snapshot as ordered key/cell pairs. Filled by the CLI
+  /// driver, never by runners; empty means every sink's output is
+  /// byte-identical to an unobserved run.
+  std::vector<std::pair<std::string, ResultCell>> manifest;
 };
 
 /// Counts the MeanPm cells flagged censored across all of the result's

@@ -167,10 +167,25 @@ std::vector<SpeedupEstimate> estimate_speedup_curve(
                                           pool);
 }
 
+void BlockedRunTotals::absorb(const BlockWalkEngine& engine) {
+  const ExtentCache::Stats& cache = engine.cache_stats();
+  const BlockWalkEngine::Stats& run = engine.stats();
+  ++trials;
+  cache_loads += cache.loads;
+  cache_hits += cache.hits;
+  cache_evictions += cache.evictions;
+  cache_bytes_loaded += cache.bytes_loaded;
+  horizons += run.horizons;
+  bucket_passes += run.bucket_passes;
+  peak_trial_bytes_loaded =
+      std::max(peak_trial_bytes_loaded, cache.bytes_loaded);
+}
+
 McResult estimate_cover_to_target_blocked(BlockWalkEngine& engine,
                                           Vertex start, unsigned k,
                                           Vertex target, const McOptions& mc,
-                                          const CoverOptions& cover) {
+                                          const CoverOptions& cover,
+                                          BlockedRunTotals* totals) {
   MW_REQUIRE(k >= 1, "k must be >= 1");
   // The engine (and its extent cache) is shared across trials, so the
   // trial loop must stay on the caller: kLanes with no pool is
@@ -183,11 +198,16 @@ McResult estimate_cover_to_target_blocked(BlockWalkEngine& engine,
   cover_run.lane_shards = 0;
   cover_run.shard_pool = nullptr;
   return run_monte_carlo(
-      [&engine, start, k, target, cover_run](std::uint64_t, Rng& rng) {
+      [&engine, start, k, target, cover_run, totals](std::uint64_t, Rng& rng) {
         const std::vector<Vertex> starts(static_cast<std::size_t>(k), start);
         engine.reset(starts);
+        // Counters restart per trial so run summaries report per-trial
+        // aggregates instead of one monotone series; walking never reads
+        // them, so this cannot perturb the v4 schedule.
+        engine.reset_stats();
         const CoverSample sample =
             engine.run_until_visited(target, rng, cover_run);
+        if (totals != nullptr) totals->absorb(engine);
         return TrialOutcome{static_cast<double>(sample.steps), !sample.covered};
       },
       mc_serial, nullptr);
@@ -196,12 +216,12 @@ McResult estimate_cover_to_target_blocked(BlockWalkEngine& engine,
 std::vector<SpeedupEstimate> estimate_speedup_curve_to_target_blocked(
     BlockWalkEngine& engine, Vertex start, Vertex target,
     std::span<const unsigned> ks, const McOptions& mc,
-    const CoverOptions& cover) {
+    const CoverOptions& cover, BlockedRunTotals* totals) {
   MW_REQUIRE(!ks.empty(), "need at least one k");
   McOptions base = mc;
   base.seed = mix64(mc.seed ^ 0x1a1cULL);  // distinct stream for the baseline
-  const McResult single =
-      estimate_cover_to_target_blocked(engine, start, 1, target, base, cover);
+  const McResult single = estimate_cover_to_target_blocked(
+      engine, start, 1, target, base, cover, totals);
 
   std::vector<SpeedupEstimate> curve;
   curve.reserve(ks.size());
@@ -212,7 +232,7 @@ std::vector<SpeedupEstimate> estimate_speedup_curve_to_target_blocked(
     const McResult multi =
         k == 1 ? single
                : estimate_cover_to_target_blocked(engine, start, k, target,
-                                                  per_k, cover);
+                                                  per_k, cover, totals);
     SpeedupEstimate est = combine_speedup(k, single, multi);
     if (k == 1) {
       // Same convention as the in-core curve: S^1 is exactly 1 with no

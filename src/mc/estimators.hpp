@@ -244,12 +244,34 @@ std::vector<SpeedupEstimate> estimate_speedup_curve(
 
 class BlockWalkEngine;
 
+/// Engine/cache activity aggregated across a blocked run. Every trial
+/// starts from zeroed counters (BlockWalkEngine::reset_stats), so these
+/// are sums of independent per-trial readings — not points on one
+/// monotone series — and the peak field is a true per-trial maximum.
+/// Counters never feed back into walking, so resetting them is inert.
+struct BlockedRunTotals {
+  std::uint64_t trials = 0;
+  std::uint64_t cache_loads = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_bytes_loaded = 0;
+  std::uint64_t horizons = 0;
+  std::uint64_t bucket_passes = 0;
+  std::uint64_t peak_trial_bytes_loaded = 0;  // heaviest single trial
+
+  /// Folds one finished trial's counters in (call before the next reset).
+  void absorb(const BlockWalkEngine& engine);
+};
+
 /// Expected rounds for k tokens at `start` to visit `target` distinct
-/// vertices, sampled through the out-of-core engine.
+/// vertices, sampled through the out-of-core engine. Engine counters are
+/// reset at each trial start; pass `totals` to collect the per-trial
+/// aggregate for a run summary.
 McResult estimate_cover_to_target_blocked(BlockWalkEngine& engine,
                                           Vertex start, unsigned k,
                                           Vertex target, const McOptions& mc,
-                                          const CoverOptions& cover = {});
+                                          const CoverOptions& cover = {},
+                                          BlockedRunTotals* totals = nullptr);
 
 /// S^k curve with one reused k = 1 baseline; mirrors
 /// estimate_speedup_curve_to_target's seeding exactly (baseline stream
@@ -257,6 +279,6 @@ McResult estimate_cover_to_target_blocked(BlockWalkEngine& engine,
 std::vector<SpeedupEstimate> estimate_speedup_curve_to_target_blocked(
     BlockWalkEngine& engine, Vertex start, Vertex target,
     std::span<const unsigned> ks, const McOptions& mc,
-    const CoverOptions& cover = {});
+    const CoverOptions& cover = {}, BlockedRunTotals* totals = nullptr);
 
 }  // namespace manywalks

@@ -1,0 +1,18 @@
+#include "obs/observer.hpp"
+
+namespace manywalks::obs {
+
+namespace {
+
+// Plain pointer by design: writes happen only on the main thread while no
+// instrumented worker is running (see header), so thread creation/join is
+// the synchronization. manywalks-stray-atomic keeps it honest.
+RunObserver* g_observer = nullptr;
+
+}  // namespace
+
+RunObserver* observer() { return g_observer; }
+
+void install_observer(RunObserver* obs) { g_observer = obs; }
+
+}  // namespace manywalks::obs

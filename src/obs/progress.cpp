@@ -1,0 +1,126 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace manywalks::obs {
+
+namespace {
+
+/// Compact human form: 1234567 -> "1.2M". Counters only; heartbeats are
+/// for eyeballs, the manifest carries the exact values.
+std::string human_count(double value) {
+  const char* suffix = "";
+  if (value >= 1e9) {
+    value /= 1e9;
+    suffix = "G";
+  } else if (value >= 1e6) {
+    value /= 1e6;
+    suffix = "M";
+  } else if (value >= 1e3) {
+    value /= 1e3;
+    suffix = "K";
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), *suffix == '\0' ? "%.0f%s" : "%.1f%s",
+                value, suffix);
+  return buffer;
+}
+
+std::string human_seconds(double seconds) {
+  char buffer[48];
+  if (seconds >= 3600) {
+    std::snprintf(buffer, sizeof(buffer), "%.0fh%02.0fm", seconds / 3600,
+                  (seconds - 3600 * static_cast<int>(seconds / 3600)) / 60);
+  } else if (seconds >= 60) {
+    std::snprintf(buffer, sizeof(buffer), "%.0fm%02.0fs", seconds / 60,
+                  seconds - 60 * static_cast<int>(seconds / 60));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0fs", seconds);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(double interval_seconds,
+                                   const MetricsRegistry* metrics,
+                                   std::ostream* out)
+    : metrics_(metrics),
+      out_(out != nullptr ? out : &std::cerr),
+      interval_seconds_(interval_seconds < 0 ? 0 : interval_seconds),
+      start_(std::chrono::steady_clock::now()),
+      last_print_(start_) {}
+
+void ProgressReporter::tick() {
+  const auto now = std::chrono::steady_clock::now();
+  const double since_last =
+      std::chrono::duration<double>(now - last_print_).count();
+  if (lines_ > 0 && since_last < interval_seconds_) return;
+  // First tick with a nonzero interval: wait one interval before speaking
+  // so short runs stay silent.
+  const double elapsed = std::chrono::duration<double>(now - start_).count();
+  if (lines_ == 0 && elapsed < interval_seconds_) return;
+  last_print_ = now;
+  print_line(elapsed, /*final_line=*/false);
+}
+
+void ProgressReporter::finish() {
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed = std::chrono::duration<double>(now - start_).count();
+  print_line(elapsed, /*final_line=*/true);
+}
+
+void ProgressReporter::print_line(double elapsed_seconds, bool final_line) {
+  ++lines_;
+  std::ostream& os = *out_;
+  os << (final_line ? "[manywalks] done:" : "[manywalks]");
+  if (metrics_ != nullptr) {
+    // Live view: the registry plus THIS thread's undrained scratch. Ticks
+    // come from the thread doing the work (coordinator, shard worker 0,
+    // the serial block engine), so its scratch holds the freshest counts;
+    // other threads' scratches surface at the next drain point.
+    const WorkerCounters& scratch = thread_counters();
+    const auto live = [&](Metric m) {
+      return metrics_->value(m) + scratch.count(m);
+    };
+    const std::uint64_t done = live(Metric::kTrialsDone);
+    const std::uint64_t rounds = live(Metric::kRounds);
+    const std::uint64_t steps = live(Metric::kSteps);
+    os << ' ' << done;
+    // The total is an upper bound when a CI target stops a run early;
+    // showing it on the final line would read as "unfinished".
+    if (total_trials_ > 0 && (!final_line || done == total_trials_)) {
+      os << '/' << total_trials_;
+    }
+    os << " trials | " << human_count(static_cast<double>(rounds))
+       << " rounds";
+    if (elapsed_seconds > 0) {
+      os << " | "
+         << human_count(static_cast<double>(steps) / elapsed_seconds)
+         << " steps/s";
+    }
+    const std::uint64_t hits = live(Metric::kCacheHits);
+    const std::uint64_t loads = live(Metric::kCacheLoads);
+    if (hits + loads > 0) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.1f%%",
+                    100.0 * static_cast<double>(hits) /
+                        static_cast<double>(hits + loads));
+      os << " | cache " << buffer;
+    }
+    if (!final_line && total_trials_ > 0 && done > 0 && done < total_trials_) {
+      const double eta =
+          elapsed_seconds * static_cast<double>(total_trials_ - done) /
+          static_cast<double>(done);
+      os << " | ETA " << human_seconds(eta);
+    }
+  }
+  os << " | " << human_seconds(elapsed_seconds) << " elapsed\n";
+  os.flush();
+}
+
+}  // namespace manywalks::obs

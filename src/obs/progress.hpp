@@ -1,0 +1,50 @@
+// ProgressReporter: the `--progress[=SECS]` stderr heartbeat.
+//
+// There is deliberately NO background thread. tick() is called from points
+// that are already single-threaded on the coordinating thread — the
+// Monte-Carlo reduction loop, shard worker 0 (which contract v3 runs on the
+// caller), and the block engine's horizon loop — and prints at most one
+// line per interval. Timing decides only whether a line is printed; it can
+// never alter a walk, merge, or block schedule, which keeps the reporter
+// inside the observability inertness rule (see ARCHITECTURE.md).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+
+namespace manywalks::obs {
+
+class MetricsRegistry;
+
+class ProgressReporter {
+ public:
+  /// Prints to `out` (nullptr = stderr) every `interval_seconds` at most.
+  /// An interval of 0 prints on every tick (tests, very long phases).
+  ProgressReporter(double interval_seconds, const MetricsRegistry* metrics,
+                   std::ostream* out = nullptr);
+
+  /// Trial total for the "done/total" fraction and the ETA; 0 hides both.
+  void set_total_trials(std::uint64_t total) { total_trials_ = total; }
+
+  /// Prints a heartbeat if at least one interval elapsed since the last.
+  void tick();
+
+  /// Prints the final summary line unconditionally.
+  void finish();
+
+  std::uint64_t lines_printed() const { return lines_; }
+
+ private:
+  void print_line(double elapsed_seconds, bool final_line);
+
+  const MetricsRegistry* metrics_;
+  std::ostream* out_;
+  double interval_seconds_;
+  std::uint64_t total_trials_ = 0;
+  std::uint64_t lines_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_print_;
+};
+
+}  // namespace manywalks::obs

@@ -1,0 +1,124 @@
+#include "obs/trace.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/json.hpp"
+
+namespace manywalks::obs {
+
+namespace {
+
+/// High-frequency categories — the only ones the buffer cap may drop.
+/// Structural spans (experiment/trial/batch, cats "cli"/"mc") are emitted
+/// at most a few thousand times per run AND close last (RAII), so dropping
+/// them at the cap would hollow out exactly the outer hierarchy a trace
+/// exists to show; block-category spans and extent-cache instants are the
+/// events that actually balloon on a long OOC run.
+bool droppable_at_cap(const char* cat) {
+  return std::strcmp(cat, "block") == 0 || std::strcmp(cat, "cache") == 0;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(std::string path, std::size_t max_events)
+    : path_(std::move(path)),
+      max_events_(max_events),
+      epoch_(std::chrono::steady_clock::now()) {
+  events_.reserve(max_events_ < 4096 ? max_events_ : 4096);
+}
+
+std::uint64_t TraceWriter::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+void TraceWriter::push(Event event) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_ && droppable_at_cap(event.cat)) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceWriter::complete(const char* name, const char* cat,
+                           std::uint32_t tid, std::uint64_t ts_us,
+                           std::uint64_t dur_us, std::string args_json) {
+  push(Event{name, cat, 'X', tid, ts_us, dur_us, 0, std::move(args_json)});
+}
+
+void TraceWriter::instant(const char* name, const char* cat,
+                          std::uint32_t tid, std::string args_json) {
+  push(Event{name, cat, 'i', tid, now_us(), 0, 0, std::move(args_json)});
+}
+
+void TraceWriter::counter(const char* name, std::uint64_t value) {
+  push(Event{name, "counter", 'C', 0, now_us(), 0, value, {}});
+}
+
+std::size_t TraceWriter::event_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::size_t TraceWriter::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string TraceWriter::render() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& event : events_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    out += json_escaped(event.name);
+    out += "\",\"cat\":\"";
+    out += json_escaped(event.cat);
+    out += "\",\"ph\":\"";
+    out += event.ph;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(event.tid);
+    out += ",\"ts\":";
+    out += std::to_string(event.ts);
+    if (event.ph == 'X') {
+      out += ",\"dur\":";
+      out += std::to_string(event.dur);
+    }
+    if (event.ph == 'i') {
+      out += ",\"s\":\"t\"";
+    }
+    if (event.ph == 'C') {
+      out += ",\"args\":{\"value\":";
+      out += std::to_string(event.cval);
+      out += '}';
+    } else if (!event.args.empty()) {
+      out += ",\"args\":{";
+      out += event.args;
+      out += '}';
+    }
+    out += '}';
+  }
+  if (!first) out += '\n';
+  out += "],\"displayTimeUnit\":\"ms\"";
+  if (dropped_ > 0) {
+    out += ",\"metadata\":{\"dropped_events\":";
+    out += std::to_string(dropped_);
+    out += '}';
+  }
+  out += "}\n";
+  return out;
+}
+
+bool TraceWriter::write() const {
+  std::ofstream os(path_, std::ios::binary);
+  if (!os.good()) return false;
+  os << render();
+  return os.good();
+}
+
+}  // namespace manywalks::obs

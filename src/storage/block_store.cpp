@@ -8,9 +8,13 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <string>
 #include <system_error>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace manywalks {
@@ -292,6 +296,10 @@ const std::byte* ExtentCache::acquire(std::uint64_t byte_begin,
                             << byte_end << " != cached " << it->second->end);
     lru_.splice(lru_.begin(), lru_, it->second);
     ++stats_.hits;
+    if (obs::RunObserver* const o = obs::observer();
+        o != nullptr && o->metrics != nullptr) {
+      obs::thread_counters().add(obs::Metric::kCacheHits, 1);
+    }
     return lru_.front().extent.data();
   }
   lru_.push_front(
@@ -303,15 +311,35 @@ const std::byte* ExtentCache::acquire(std::uint64_t byte_begin,
   stats_.resident_bytes += bytes;
   // Evict LRU extents past the budget, but never the one just acquired:
   // a single over-budget extent still loads (and pins the cache floor).
+  std::uint64_t evicted = 0;
   while (stats_.resident_bytes > budget_ && lru_.size() > 1) {
     const Entry& victim = lru_.back();
     stats_.resident_bytes -= victim.end - victim.begin;
     ++stats_.evictions;
+    ++evicted;
     by_begin_.erase(victim.begin);
     lru_.pop_back();
   }
   stats_.peak_resident_bytes =
       std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+  // Observability: misses and evictions are cache-churn events (coarse by
+  // construction — one per extent mapped, never per walk step). Counters
+  // go to the calling thread's scratch; trace events go straight to the
+  // (mutex-protected) writer.
+  if (obs::RunObserver* const o = obs::observer(); o != nullptr) {
+    if (o->metrics != nullptr) {
+      obs::WorkerCounters& scratch = obs::thread_counters();
+      scratch.add(obs::Metric::kCacheLoads, 1);
+      scratch.add(obs::Metric::kCacheBytesLoaded, bytes);
+      scratch.add(obs::Metric::kCacheEvictions, evicted);
+    }
+    if (o->trace != nullptr) {
+      std::string args = "\"begin\":" + std::to_string(byte_begin) +
+                         ",\"bytes\":" + std::to_string(bytes);
+      if (evicted > 0) args += ",\"evicted\":" + std::to_string(evicted);
+      o->trace->instant("extent-load", "cache", 0, std::move(args));
+    }
+  }
   return lru_.front().extent.data();
 }
 

@@ -189,6 +189,17 @@ class ExtentCache {
   std::uint64_t budget_bytes() const noexcept { return budget_; }
   const Stats& stats() const noexcept { return stats_; }
 
+  /// Zeroes the traffic counters (loads/hits/evictions/bytes_loaded) so
+  /// callers can attribute cache behavior to one phase or trial. Residency
+  /// is real state, not a counter: resident_bytes is kept and the peak
+  /// restarts from it.
+  void reset_stats() noexcept {
+    const std::uint64_t resident = stats_.resident_bytes;
+    stats_ = Stats{};
+    stats_.resident_bytes = resident;
+    stats_.peak_resident_bytes = resident;
+  }
+
  private:
   struct Entry {
     std::uint64_t begin;

@@ -13,16 +13,21 @@ ArgParser::ArgParser(std::string program, std::string description)
 
 std::string ArgParser::default_repr(const Target& target) {
   return std::visit(
-      [](auto* ptr) -> std::string {
-        using T = std::remove_pointer_t<decltype(ptr)>;
-        if constexpr (std::is_same_v<T, bool>) {
-          return *ptr ? "true" : "false";
-        } else if constexpr (std::is_same_v<T, std::string>) {
-          return *ptr;
+      [](auto&& t) -> std::string {
+        using T = std::decay_t<decltype(t)>;
+        if constexpr (std::is_same_v<T, OptionalValue>) {
+          return *t.value;
         } else {
-          std::ostringstream os;
-          os << *ptr;
-          return os.str();
+          using P = std::remove_pointer_t<T>;
+          if constexpr (std::is_same_v<P, bool>) {
+            return *t ? "true" : "false";
+          } else if constexpr (std::is_same_v<P, std::string>) {
+            return *t;
+          } else {
+            std::ostringstream os;
+            os << *t;
+            return os.str();
+          }
         }
       },
       target);
@@ -32,6 +37,18 @@ ArgParser& ArgParser::add_flag(std::string name, bool* target, std::string help)
   MW_REQUIRE(target != nullptr, "null flag target");
   MW_REQUIRE(find(name) == nullptr, "duplicate option --" << name);
   specs_.push_back({std::move(name), target, std::move(help), default_repr(target)});
+  return *this;
+}
+
+ArgParser& ArgParser::add_optional_value_flag(std::string name, bool* present,
+                                              std::string* value,
+                                              std::string help) {
+  MW_REQUIRE(present != nullptr && value != nullptr,
+             "null optional-value flag target");
+  MW_REQUIRE(find(name) == nullptr, "duplicate option --" << name);
+  const OptionalValue target{present, value};
+  specs_.push_back(
+      {std::move(name), target, std::move(help), default_repr(target)});
   return *this;
 }
 
@@ -80,7 +97,11 @@ std::string ArgParser::usage() const {
   os << program_ << " — " << description_ << "\n\nOptions:\n";
   for (const Spec& spec : specs_) {
     os << "  --" << spec.name;
-    if (!std::holds_alternative<bool*>(spec.target)) os << " <value>";
+    if (std::holds_alternative<OptionalValue>(spec.target)) {
+      os << "[=value]";
+    } else if (!std::holds_alternative<bool*>(spec.target)) {
+      os << " <value>";
+    }
     os << "\n      " << spec.help << " (default: " << spec.default_repr << ")\n";
   }
   os << "  --help\n      Show this message.\n";
@@ -121,6 +142,11 @@ bool ArgParser::parse(int argc, char** argv) {
       *std::get<bool*>(spec->target) = true;
       continue;
     }
+    if (const auto* optional = std::get_if<OptionalValue>(&spec->target)) {
+      *optional->present = true;
+      if (has_value) *optional->value = value;
+      continue;
+    }
     if (!has_value) {
       if (i + 1 >= argc) {
         std::cerr << program_ << ": option --" << name << " needs a value\n";
@@ -129,15 +155,16 @@ bool ArgParser::parse(int argc, char** argv) {
       value = argv[++i];
     }
     const bool ok = std::visit(
-        [&value](auto* ptr) -> bool {
-          using T = std::remove_pointer_t<decltype(ptr)>;
-          if constexpr (std::is_same_v<T, bool>) {
+        [&value](auto&& t) -> bool {
+          using T = std::decay_t<decltype(t)>;
+          if constexpr (std::is_same_v<T, OptionalValue> ||
+                        std::is_same_v<T, bool*>) {
             return false;  // handled above
-          } else if constexpr (std::is_same_v<T, std::string>) {
-            *ptr = value;
+          } else if constexpr (std::is_same_v<T, std::string*>) {
+            *t = value;
             return true;
           } else {
-            return parse_number(value, ptr);
+            return parse_number(value, t);
           }
         },
         spec->target);

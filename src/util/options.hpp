@@ -18,6 +18,14 @@ class ArgParser {
   /// Registers a boolean flag (presence sets *target = true).
   ArgParser& add_flag(std::string name, bool* target, std::string help);
 
+  /// Registers a flag with an optional inline value: `--name` sets
+  /// *present and leaves *value untouched (caller's default); `--name=V`
+  /// sets both. The two-token `--name V` form is NOT accepted — the next
+  /// token is an unrelated argument (that ambiguity is why plain options
+  /// can't be optional).
+  ArgParser& add_optional_value_flag(std::string name, bool* present,
+                                     std::string* value, std::string help);
+
   /// Registers typed options; *target keeps its prior value as the default
   /// shown in --help.
   ArgParser& add_option(std::string name, std::int64_t* target, std::string help);
@@ -33,8 +41,12 @@ class ArgParser {
   std::string usage() const;
 
  private:
+  struct OptionalValue {
+    bool* present;
+    std::string* value;
+  };
   using Target = std::variant<bool*, std::int64_t*, std::uint64_t*, unsigned*,
-                              double*, std::string*>;
+                              double*, std::string*, OptionalValue>;
   struct Spec {
     std::string name;  // without leading dashes
     Target target;

@@ -41,6 +41,11 @@ void ThreadPool::submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });

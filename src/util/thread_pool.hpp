@@ -39,12 +39,17 @@ class ThreadPool {
 
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
+  /// Tasks queued but not yet claimed by a worker. Mutex-guarded sample for
+  /// the observability layer's queue-depth gauge — an instantaneous reading,
+  /// already stale by the time the caller sees it.
+  std::size_t queue_depth() const;
+
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::uint64_t in_flight_ = 0;

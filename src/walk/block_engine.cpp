@@ -1,7 +1,12 @@
 #include "walk/block_engine.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace manywalks {
@@ -53,28 +58,47 @@ CoverSample BlockWalkEngine::run_until_visited(Vertex target, Rng& rng,
   }
   if (options.step_cap == 0) return sample;  // no rounds, no draws
   ensure_lanes(rng);
+  // Per-horizon observability flush keeps heartbeats live through a long
+  // OOC cover: `last` tracks the stat state at the previous flush. kRounds
+  // counts rounds EXECUTED (horizons run in full even when coverage lands
+  // inside one; the exact-cover replay is tracked as kReplayedRounds).
+  Stats last = stats_;
+  obs::RunObserver* const o = obs::observer();
+  obs::TraceWriter* const trace = o != nullptr ? o->trace : nullptr;
 
   std::uint64_t done = 0;
   while (done < options.step_cap) {
     const auto horizon = static_cast<std::uint32_t>(std::min<std::uint64_t>(
         kBlockHorizon, options.step_cap - done));
-    // Snapshot, then run the horizon asynchronously. The horizon-end
-    // state is exactly the lockstep state after `horizon` rounds (lane
-    // trajectories are per-lane pure, visits commute), so checking
-    // coverage only here is exact; the replay below recovers the precise
-    // covering round.
-    snap_tokens_ = tokens_;
-    snap_rngs_.assign(lane_rngs_.data(), lane_rngs_.data() + tokens_.size());
-    snap_tracker_ = tracker_;
-    run_rounds_bucketed(horizon, options.laziness);
-    ++stats_.horizons;
-    done += horizon;
+    {
+      obs::TraceSpan span(trace, "horizon", "block");
+      span.set_args("\"round_begin\":" + std::to_string(done) +
+                    ",\"rounds\":" + std::to_string(horizon));
+      // Snapshot, then run the horizon asynchronously. The horizon-end
+      // state is exactly the lockstep state after `horizon` rounds (lane
+      // trajectories are per-lane pure, visits commute), so checking
+      // coverage only here is exact; the replay below recovers the precise
+      // covering round.
+      snap_tokens_ = tokens_;
+      snap_rngs_.assign(lane_rngs_.data(), lane_rngs_.data() + tokens_.size());
+      snap_tracker_ = tracker_;
+      run_rounds_bucketed(horizon, options.laziness);
+      ++stats_.horizons;
+      done += horizon;
+    }
+    note_run_observed(last, horizon);
+    last = stats_;
+    if (o != nullptr && o->progress != nullptr) o->progress->tick();
     if (tracker_.num_visited() >= target) {
       tokens_ = snap_tokens_;
       std::copy(snap_rngs_.begin(), snap_rngs_.end(), lane_rngs_.data());
       tracker_ = snap_tracker_;
-      const std::uint64_t round =
-          replay_cover_rounds(target, horizon, options.laziness);
+      std::uint64_t round = 0;
+      {
+        obs::TraceSpan span(trace, "cover-replay", "block");
+        round = replay_cover_rounds(target, horizon, options.laziness);
+      }
+      note_run_observed(last, 0);
       sample.steps = done - horizon + round;
       sample.covered = true;
       return sample;
@@ -91,13 +115,22 @@ void BlockWalkEngine::run_for_steps(std::uint64_t rounds, Rng& rng,
   MW_REQUIRE(laziness >= 0.0 && laziness < 1.0, "laziness must be in [0,1)");
   if (rounds == 0) return;
   ensure_lanes(rng);
+  const Stats before = stats_;
+  const std::uint64_t total_rounds = rounds;
+  obs::RunObserver* const o = obs::observer();
+  obs::TraceWriter* const trace = o != nullptr ? o->trace : nullptr;
   while (rounds > 0) {
     const auto horizon = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(kBlockHorizon, rounds));
-    run_rounds_bucketed(horizon, laziness);
+    {
+      obs::TraceSpan span(trace, "horizon", "block");
+      run_rounds_bucketed(horizon, laziness);
+    }
     ++stats_.horizons;
     rounds -= horizon;
+    if (o != nullptr && o->progress != nullptr) o->progress->tick();
   }
+  note_run_observed(before, total_rounds);
 }
 
 void BlockWalkEngine::run_rounds_bucketed(std::uint32_t rounds_each,
@@ -117,6 +150,13 @@ void BlockWalkEngine::run_rounds_bucketed(std::uint32_t rounds_each,
 
 void BlockWalkEngine::process_block(std::uint32_t block, double laziness) {
   ++stats_.block_visits;
+  obs::RunObserver* const o = obs::observer();
+  obs::TraceSpan span(o != nullptr ? o->trace : nullptr, "block-visit",
+                      "block");
+  if (o != nullptr && o->trace != nullptr) {
+    span.set_args("\"block\":" + std::to_string(block) + ",\"walkers\":" +
+                  std::to_string(buckets_.lanes_in(block).size()));
+  }
   const std::byte* raw = cache_.acquire(graph_->block_byte_begin(block),
                                         graph_->block_byte_end(block));
   // block_byte_begin is 4-aligned (targets_begin + 4*arc) by format.
@@ -149,7 +189,26 @@ void BlockWalkEngine::process_block(std::uint32_t block, double laziness) {
     tokens_[lane] = v;
     rngs[lane] = rng;
     rounds_left_[lane] = left;
+    // Round budget left means the walker exited this block and a later
+    // pass resumes it elsewhere: one bucket migration.
+    if (left > 0) ++stats_.bucket_migrations;
   }
+}
+
+void BlockWalkEngine::note_run_observed(const Stats& before,
+                                        std::uint64_t rounds) const {
+  obs::RunObserver* const o = obs::observer();
+  if (o == nullptr || o->metrics == nullptr) return;
+  obs::WorkerCounters& m = obs::thread_counters();
+  m.add(obs::Metric::kRounds, rounds);
+  m.add(obs::Metric::kSteps, rounds * tokens_.size());
+  m.add(obs::Metric::kBucketPasses,
+        stats_.bucket_passes - before.bucket_passes);
+  m.add(obs::Metric::kBlockVisits, stats_.block_visits - before.block_visits);
+  m.add(obs::Metric::kBucketMigrations,
+        stats_.bucket_migrations - before.bucket_migrations);
+  m.add(obs::Metric::kReplayedRounds,
+        stats_.replayed_rounds - before.replayed_rounds);
 }
 
 std::uint64_t BlockWalkEngine::replay_cover_rounds(Vertex target,

@@ -62,6 +62,8 @@ class BlockWalkEngine {
     std::uint64_t bucket_passes = 0;   ///< bucket rebuild sweeps
     std::uint64_t block_visits = 0;    ///< per-pass block activations
     std::uint64_t replayed_rounds = 0; ///< lockstep rounds for exact cover
+    std::uint64_t bucket_migrations = 0;  ///< walkers that exited a block
+                                          ///< mid-budget and were rebucketed
   };
 
   /// Binds to a v2 graph with an explicit resident-extent budget.
@@ -92,6 +94,15 @@ class BlockWalkEngine {
     return cache_.stats();
   }
 
+  /// Zeroes the engine's schedule counters and the cache's traffic
+  /// counters so per-trial attribution is possible (the blocked estimators
+  /// share one engine across trials). Pure bookkeeping: no cached extent
+  /// is dropped, no schedule state changes.
+  void reset_stats() noexcept {
+    stats_ = Stats{};
+    cache_.reset_stats();
+  }
+
  private:
   void ensure_lanes(Rng& rng);
   /// One bucketed sweep epoch: every live walker advances `rounds_each`
@@ -100,6 +111,9 @@ class BlockWalkEngine {
   void process_block(std::uint32_t block, double laziness);
   std::uint64_t replay_cover_rounds(Vertex target, std::uint32_t horizon,
                                     double laziness);
+  /// Observability flush for one run_* call (serial calling thread):
+  /// schedule-counter deltas since `before` plus the logical round count.
+  void note_run_observed(const Stats& before, std::uint64_t rounds) const;
 
   const BlockedGraph* graph_;
   ExtentCache cache_;

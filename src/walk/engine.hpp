@@ -44,6 +44,9 @@
 
 #include "graph/graph.hpp"
 #include "graph/substrate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/progress.hpp"
 #include "util/check.hpp"
 #include "util/prefetch.hpp"
 #include "util/rng.hpp"
@@ -363,17 +366,22 @@ class WalkEngineT {
         // the serial lane path for every shard/thread count (lane
         // trajectories are pure functions of the per-token streams and the
         // visited set is a schedule-invariant union).
-        return options.laziness > 0.0
-                   ? run_until_visited_sharded<true>(target, options, shards)
-                   : run_until_visited_sharded<false>(target, options, shards);
+        sample = options.laziness > 0.0
+                     ? run_until_visited_sharded<true>(target, options, shards)
+                     : run_until_visited_sharded<false>(target, options,
+                                                        shards);
+      } else {
+        sample = options.laziness > 0.0
+                     ? run_until_visited_lane<true>(target, options)
+                     : run_until_visited_lane<false>(target, options);
       }
-      return options.laziness > 0.0
-                 ? run_until_visited_lane<true>(target, options)
-                 : run_until_visited_lane<false>(target, options);
+    } else {
+      sample = options.laziness > 0.0
+                   ? run_until_visited_impl<true>(target, rng, options)
+                   : run_until_visited_impl<false>(target, rng, options);
     }
-    return options.laziness > 0.0
-               ? run_until_visited_impl<true>(target, rng, options)
-               : run_until_visited_impl<false>(target, rng, options);
+    note_rounds_observed(sample.steps);
+    return sample;
   }
 
   /// Advances all tokens for exactly `rounds` rounds, marking visits. When
@@ -399,6 +407,7 @@ class WalkEngineT {
             ? run_for_steps_lane<false, true>(rounds, laziness, visit_counts)
             : run_for_steps_lane<false, false>(rounds, laziness, visit_counts);
       }
+      note_rounds_observed(rounds);
       return;
     }
     if (laziness > 0.0) {
@@ -413,6 +422,7 @@ class WalkEngineT {
           : run_for_steps_impl<false, false>(rounds, rng, laziness,
                                              visit_counts);
     }
+    note_rounds_observed(rounds);
   }
 
   const S& substrate() const noexcept { return substrate_; }
@@ -432,6 +442,18 @@ class WalkEngineT {
       lane_rngs_.reseed(rng.next(), tokens_.size());
       lanes_seeded_ = true;
     }
+  }
+
+  /// Observability flush, once per run_* call (never inside a round loop):
+  /// one pointer test when observability is off. Writes the calling
+  /// thread's scratch, never the registry — trials may run on pool workers
+  /// (kTrials Monte-Carlo), and the scratch keeps that race-free.
+  void note_rounds_observed(std::uint64_t rounds) const {
+    obs::RunObserver* const o = obs::observer();
+    if (o == nullptr || o->metrics == nullptr) return;
+    obs::WorkerCounters& scratch = obs::thread_counters();
+    scratch.add(obs::Metric::kRounds, rounds);
+    scratch.add(obs::Metric::kSteps, rounds * tokens_.size());
   }
 
   /// Hands `body` the hoisted draw policy for a known uniform degree —
@@ -661,6 +683,8 @@ class WalkEngineT {
     struct WorkerResult {
       std::uint64_t steps = 0;
       std::uint64_t visited = 0;
+      std::uint64_t merges = 0;
+      std::uint64_t merge_stalls = 0;
       bool covered = false;
     };
     std::vector<WorkerResult> results(team);
@@ -677,9 +701,25 @@ class WalkEngineT {
         // agree without a coordinator.
         std::uint64_t t = 0;
         std::uint64_t exact = trk.merged_count();
+        std::uint64_t merges = 0;
+        std::uint64_t merge_stalls = 0;
         bool covered = false;
         while (t < options.step_cap) {
           ++t;
+          // Worker 0 IS the calling thread (run_shard_team/parallel_for_
+          // static run chunk 0 on the caller), so the heartbeat and the
+          // queue-depth sample stay single-threaded. Printing is the only
+          // effect — the walk and merge schedule below never reads the
+          // clock.
+          if (w == 0 && (t & 255u) == 0) {
+            if (obs::RunObserver* const o = obs::observer(); o != nullptr) {
+              if (o->metrics != nullptr && pool != nullptr) {
+                obs::thread_counters().note_max(obs::Metric::kPoolQueuePeak,
+                                                pool->queue_depth());
+              }
+              if (o->progress != nullptr) o->progress->tick();
+            }
+          }
           const auto parity = static_cast<unsigned>(t & 1);
           for (unsigned s = shard_begin; s < shard_end; ++s) {
             const std::size_t lane_begin = shard_lane_begin(k, shards, s);
@@ -705,8 +745,12 @@ class WalkEngineT {
           // the merge path arrives twice per round, the skip path once).
           const bool final_round = t >= options.step_cap;
           if (trk.upper_bound_visited(parity, exact) < target && !final_round) {
+            // The skip decision is replicated, so every worker's stall
+            // count is the same; the coordinator flushes worker 0's.
+            ++merge_stalls;
             continue;
           }
+          ++merges;
           partials[w] = trk.merge_range(word_begin, word_end);
           for (unsigned s = shard_begin; s < shard_end; ++s) {
             trk.snapshot_shard(s);
@@ -724,13 +768,22 @@ class WalkEngineT {
             break;
           }
         }
-        results[w] = {t, exact, covered};
+        results[w] = {t, exact, merges, merge_stalls, covered};
       } catch (...) {
         errors[w] = std::current_exception();
         barrier.poison();
       }
     };
     run_shard_team(pool, team, errors, worker);
+
+    // Observability flush on the calling thread after the team joined; the
+    // merge/stall decisions are replicated so worker 0's counts are exact.
+    if (obs::RunObserver* const o = obs::observer();
+        o != nullptr && o->metrics != nullptr) {
+      obs::WorkerCounters& scratch = obs::thread_counters();
+      scratch.add(obs::Metric::kMerges, results[0].merges);
+      scratch.add(obs::Metric::kMergeStalls, results[0].merge_stalls);
+    }
 
     // Post-state identical to the serial path: the merged bitmap is the
     // run's visited set (the final round always merged).

@@ -33,6 +33,12 @@ hold. Generic tooling cannot know them, so this checker does:
                             (MappedGraph, ExtentCache); ad-hoc mappings
                             elsewhere dodge the extent accounting the
                             out-of-core memory budget relies on.
+  manywalks-raw-clock       <chrono> / steady_clock / clock_gettime and
+                            friends outside src/obs/, src/util/timer.hpp,
+                            and bench/ — clock reads are fenced into the
+                            observability layer so timing can never leak
+                            into a contract v2-v4 schedule decision
+                            (ARCHITECTURE.md, "Observability").
 
 Escape hatch (clang-tidy style, rule name required so escapes stay
 auditable — see the inventory in docs/ARCHITECTURE.md):
@@ -411,6 +417,46 @@ class MmapOutsideStorageRule(Rule):
         return findings
 
 
+class RawClockRule(Rule):
+    name = RULE_PREFIX + "raw-clock"
+    description = (
+        "clock reads (<chrono>, steady_clock/system_clock/"
+        "high_resolution_clock, clock_gettime, gettimeofday, clock()) "
+        "outside src/obs/, src/util/timer.hpp, and bench/ — the "
+        "observability layer owns every timestamp so timing can never "
+        "feed a walk/merge/block scheduling decision (the contract v2-v4 "
+        "inertness rule); measure with util/timer.hpp's Stopwatch or the "
+        "obs:: sinks instead"
+    )
+    EXEMPT = ("src/util/timer.hpp",)
+    EXEMPT_PREFIXES = ("src/obs/", "bench/")
+    PATTERN = re.compile(
+        r"#\s*include\s*<chrono>"
+        r"|\bstd\s*::\s*chrono\b"
+        r"|\b(?:steady_clock|system_clock|high_resolution_clock)\b"
+        r"|(?<![\w.])(?:::\s*)?(?:clock_gettime|gettimeofday|"
+        r"clock_getres|timespec_get|clock)\s*\("
+    )
+
+    def check(self, src: SourceFile) -> list[Finding]:
+        if src.relpath in self.EXEMPT:
+            return []
+        if src.relpath.startswith(self.EXEMPT_PREFIXES):
+            return []
+        findings = []
+        for lineno, match in _matches(self.PATTERN, src):
+            findings.append(
+                self._finding(
+                    src, lineno, match.start() + 1,
+                    "clock read outside src/obs/, src/util/timer.hpp, and "
+                    "bench/: timestamps are fenced into the observability "
+                    "layer so timing can never alter a contract v2-v4 "
+                    "schedule; use util/timer.hpp or an obs:: sink",
+                )
+            )
+        return findings
+
+
 ALL_RULES: list[Rule] = [
     RawRngRule(),
     UnorderedIterationRule(),
@@ -418,6 +464,7 @@ ALL_RULES: list[Rule] = [
     FloatStatisticsRule(),
     StrayAtomicRule(),
     MmapOutsideStorageRule(),
+    RawClockRule(),
 ]
 
 

@@ -271,6 +271,53 @@ class MmapOutsideStorageRuleTest(unittest.TestCase):
             set())
 
 
+class RawClockRuleTest(unittest.TestCase):
+    def test_fires_on_chrono_include(self):
+        fired = rules_fired("#include <chrono>\n",
+                            relpath="src/walk/engine.hpp")
+        self.assertIn("manywalks-raw-clock", fired)
+
+    def test_fires_on_steady_clock_and_std_chrono(self):
+        text = ("auto t0 = std::chrono::steady_clock::now();\n"
+                "std::chrono::duration<double> d = t1 - t0;\n")
+        fired = rules_fired(text, relpath="src/mc/monte_carlo.cpp")
+        self.assertIn("manywalks-raw-clock", fired)
+
+    def test_fires_on_clock_gettime_and_gettimeofday(self):
+        text = ("clock_gettime(CLOCK_MONOTONIC, &ts);\n"
+                "gettimeofday(&tv, nullptr);\n")
+        fired = rules_fired(text, relpath="src/cli/driver.cpp")
+        self.assertIn("manywalks-raw-clock", fired)
+
+    def test_obs_layer_timer_and_bench_are_exempt(self):
+        text = ("#include <chrono>\n"
+                "auto now = std::chrono::steady_clock::now();\n"
+                "clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);\n")
+        for relpath in ("src/obs/trace.cpp", "src/obs/progress.cpp",
+                        "src/util/timer.hpp", "bench/bench_engine.cpp"):
+            self.assertEqual(rules_fired(text, relpath=relpath), set(),
+                             relpath)
+
+    def test_quiet_on_the_fixed_form(self):
+        fixed = ("Stopwatch watch;\n"
+                 "result.seconds = watch.seconds();\n")
+        self.assertEqual(
+            rules_fired(fixed, relpath="src/mc/monte_carlo.cpp"), set())
+
+    def test_quiet_on_identifiers_and_member_calls(self):
+        ok = ("int clock_cycles = 0;\n"
+              "timer.clock();\n"            # member call on a repo wrapper
+              "auto wall_clock_note = 1;\n")
+        self.assertEqual(
+            rules_fired(ok, relpath="src/walk/engine.hpp"), set())
+
+    def test_quiet_on_mention_in_comment(self):
+        self.assertEqual(
+            rules_fired("// never read steady_clock here\nint x;\n",
+                        relpath="src/walk/engine.hpp"),
+            set())
+
+
 class NolintEscapeTest(unittest.TestCase):
     def test_nolint_on_the_same_line_suppresses(self):
         text = "int r = rand();  // NOLINT(manywalks-raw-rng): legacy shim\n"
